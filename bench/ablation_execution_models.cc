@@ -1,0 +1,74 @@
+// Ablation — execution models (§2.2 motivation, §7 "Vectorization vs.
+// compilation"): the same SSB queries through three CPU execution models on
+// identical hardware and calibration:
+//   (a) interpreted Volcano iterators (one virtual next() per tuple per op),
+//   (b) vector-at-a-time with per-operator materialization (the DBMS C model),
+//   (c) JIT-fused pipelines with register pipelining (this repo's engine).
+// The paper's premise is (a) << (b) <= (c) for analytical scans; this ablation
+// regenerates that ordering from mechanism.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "baselines/volcano.h"
+#include "bench_util.h"
+
+namespace {
+
+using hetex::bench::SsbBenchEnv;
+
+SsbBenchEnv* env = nullptr;
+std::map<std::string, double> modeled_s;
+
+void RegisterAll() {
+  for (const auto& spec : {env->ssb->Query(1, 1), env->ssb->Query(2, 1),
+                           env->ssb->Query(3, 2)}) {
+    hetex::bench::RegisterModeled(
+        "ablation_exec/volcano/" + spec.name, [spec] {
+          hetex::baselines::VolcanoEngine engine(env->system.get());
+          auto r = engine.Execute(spec);
+          modeled_s["volcano/" + spec.name] = r.modeled_seconds;
+          return r;
+        });
+    hetex::bench::RegisterModeled(
+        "ablation_exec/vectorized/" + spec.name, [spec] {
+          auto r = env->RunDbmsC(spec);
+          modeled_s["vectorized/" + spec.name] = r.modeled_seconds;
+          return r;
+        });
+    hetex::bench::RegisterModeled(
+        "ablation_exec/jit/" + spec.name, [spec] {
+          auto r = env->RunProteus(spec, hetex::plan::ExecPolicy::CpuOnly());
+          modeled_s["jit/" + spec.name] = r.modeled_seconds;
+          return r;
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  SsbBenchEnv e(/*scale=*/0.2, /*paper_sf=*/100, /*gpu_capacity=*/8ull << 30);
+  env = &e;
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Execution-model ablation (24 CPU workers, modeled ms) ===\n");
+  std::printf("%-6s %12s %12s %12s %18s\n", "query", "volcano", "vectorized",
+              "jit", "volcano/jit");
+  for (const char* q : {"Q1.1", "Q2.1", "Q3.2"}) {
+    const double v = modeled_s["volcano/" + std::string(q)] * 1e3;
+    const double x = modeled_s["vectorized/" + std::string(q)] * 1e3;
+    const double j = modeled_s["jit/" + std::string(q)] * 1e3;
+    std::printf("%-6s %12.2f %12.2f %12.2f %17.1fx\n", q, v, x, j, v / j);
+  }
+  std::printf("expected (paper 2.2/7): interpretation is the bottleneck; "
+              "vectorized execution recovers most of it; JIT fusion wins on "
+              "low-selectivity queries\n");
+  return 0;
+}

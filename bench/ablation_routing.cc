@@ -1,0 +1,65 @@
+// Ablation — routing policies (§3.1): the same hybrid join under (a) the
+// virtual-time load-balancing router, (b) a blind round-robin router, and (c)
+// the split filter-stage plan with hash-pack + hash routing (the paper's
+// Fig. 1e shape). Load balancing matters because CPU workers and GPUs have very
+// different per-block service times; hash routing adds a packing stage but
+// partitions the probe side.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+using hetex::core::System;
+using hetex::plan::ExecPolicy;
+
+System* g_system = nullptr;
+std::map<std::string, double> modeled_s;
+
+void Register(const std::string& name, ExecPolicy policy) {
+  hetex::bench::RegisterModeled("ablation_routing/" + name, [name, policy] {
+    hetex::core::QueryExecutor executor(g_system);
+    auto r = executor.Execute(hetex::bench::MicroJoinQuery(), policy);
+    modeled_s[name] = r.modeled_seconds;
+    return r;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  System::Options options;
+  options.blocks.host_arena_blocks = 1024;
+  System system(options);
+  g_system = &system;
+  hetex::bench::MakeMicroTables(&system, 48'000'000, 1'000'000);
+
+  ExecPolicy lb = ExecPolicy::Hybrid(8);
+  Register("load_balance", lb);
+
+  ExecPolicy rr = ExecPolicy::Hybrid(8);
+  rr.load_balance = false;
+  Register("round_robin", rr);
+
+  ExecPolicy split = ExecPolicy::Hybrid(8);
+  split.split_probe_stage = true;
+  Register("split_hash_router", split);
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Routing-policy ablation (hybrid join, 8 CPU workers + 2 "
+              "GPUs) ===\n");
+  for (const auto& [name, t] : modeled_s) {
+    std::printf("%-20s %8.2f ms modeled\n", name.c_str(), t * 1e3);
+  }
+  std::printf("expected: load-balance <= round-robin (heterogeneous service "
+              "times); the split plan pays an extra pack/route/unpack stage\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef HETEX_BASELINES_DBMS_C_H_
+#define HETEX_BASELINES_DBMS_C_H_
+
+#include "baselines/op_stats.h"
+#include "core/executor.h"
+#include "core/system.h"
+
+namespace hetex::baselines {
+
+/// \brief Emulation of "DBMS C": a columnar, SIMD vector-at-a-time CPU engine in
+/// the MonetDB/X100 mold (paper §6).
+///
+/// Cost structure: every operator materializes its output — selection bitmaps,
+/// gathered key vectors, join payload vectors — which is read back by the next
+/// operator. That materialization traffic is exactly what the paper credits for
+/// Proteus CPU's advantage on low-selectivity queries (Q3.1/Q3.2) and for parity
+/// on highly selective ones (Q3.3/Q3.4). Work is spread across all cores with
+/// morsel partitioning; random accesses use the same calibrated CPU constants as
+/// the main engine.
+struct DbmsCOptions {
+  int workers = -1;          ///< -1: all cores
+  int vector_size = 4096;    ///< X100-style vector length
+  double startup_seconds = 5e-3;  ///< plan/dispatch setup (no JIT)
+};
+
+class DbmsC {
+ public:
+  using Options = DbmsCOptions;
+
+  explicit DbmsC(core::System* system, Options options = {});
+
+  /// Runs the query; `precomputed` (optional) skips re-evaluating cardinalities
+  /// when the caller already ran EvaluateWithStats for this spec.
+  core::QueryResult Execute(const plan::QuerySpec& spec,
+                            const OpStats* precomputed = nullptr);
+
+ private:
+  core::System* system_;
+  Options options_;
+};
+
+inline DbmsC::DbmsC(core::System* system, Options options)
+    : system_(system), options_(std::move(options)) {}
+
+}  // namespace hetex::baselines
+
+#endif  // HETEX_BASELINES_DBMS_C_H_

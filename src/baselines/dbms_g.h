@@ -1,0 +1,54 @@
+#ifndef HETEX_BASELINES_DBMS_G_H_
+#define HETEX_BASELINES_DBMS_G_H_
+
+#include <vector>
+
+#include "baselines/op_stats.h"
+#include "core/executor.h"
+#include "core/system.h"
+
+namespace hetex::baselines {
+
+/// \brief Emulation of "DBMS G": a JIT, columnar, operator-at-a-time multi-GPU
+/// engine (paper §6).
+///
+/// Behaviours reproduced as mechanisms (each one the paper explicitly reports):
+///  * star joins as dense dimension arrays indexed by key, with dimension filters
+///    applied *after* the join — selective predicates barely help (§6.1, Q3.x);
+///  * every thread block allocates ~2x the registers Proteus does, halving
+///    effective occupancy/bandwidth (`occupancy` option, §6.1 Q1.x);
+///  * operator-at-a-time execution with full materialization of intermediates in
+///    GPU memory between kernels (§2.3);
+///  * non-resident data staged from *pageable* host memory, capping transfer
+///    bandwidth below half of the pinned DMA rate (§6.2, Q1.x at SF1000);
+///  * no support for string range predicates: Q2.2 reverts to CPU execution
+///    (reported as Unsupported — the paper measures >1 hour);
+///  * Q4.3-at-scale cardinality-estimation failure when the working set exceeds
+///    device memory (OutOfMemory).
+struct DbmsGOptions {
+  std::vector<int> gpus;       ///< empty: all
+  bool data_on_gpu = false;    ///< working set pre-loaded in device memory
+  double occupancy = 0.5;      ///< effective bandwidth fraction (register pressure)
+  double startup_seconds = 8e-3;  ///< JIT compile + kernel upload
+};
+
+class DbmsG {
+ public:
+  using Options = DbmsGOptions;
+
+  explicit DbmsG(core::System* system, Options options = {});
+
+  core::QueryResult Execute(const plan::QuerySpec& spec,
+                            const OpStats* precomputed = nullptr);
+
+ private:
+  core::System* system_;
+  Options options_;
+};
+
+inline DbmsG::DbmsG(core::System* system, Options options)
+    : system_(system), options_(std::move(options)) {}
+
+}  // namespace hetex::baselines
+
+#endif  // HETEX_BASELINES_DBMS_G_H_

@@ -1,0 +1,200 @@
+#include "baselines/op_stats.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "jit/hash_table.h"
+
+namespace hetex::baselines {
+
+namespace {
+
+/// Fast row getter over a fixed set of columns (linear scan over few names).
+class RowEnv {
+ public:
+  void Bind(const std::string& name, const storage::Column* col,
+            const uint64_t* row) {
+    cols_.push_back({name, col, row});
+  }
+
+  int64_t Get(const std::string& name) const {
+    for (const auto& b : cols_) {
+      if (b.name == name) return b.col->At(*b.row);
+    }
+    HETEX_CHECK(false) << "unbound column " << name;
+    return 0;
+  }
+
+ private:
+  struct Binding {
+    std::string name;
+    const storage::Column* col;
+    const uint64_t* row;
+  };
+  std::vector<Binding> cols_;
+};
+
+}  // namespace
+
+OpStats EvaluateWithStats(const plan::QuerySpec& spec,
+                          const storage::Catalog& catalog) {
+  OpStats stats;
+  const storage::Table& fact = catalog.at(spec.fact_table);
+  const size_t n_joins = spec.joins.size();
+  stats.fact_rows = fact.rows();
+  stats.probe_inputs.assign(n_joins, 0);
+  stats.probe_outputs.assign(n_joins, 0);
+  stats.dim_rows.assign(n_joins, 0);
+  stats.dim_selected.assign(n_joins, 0);
+
+  // Working-set bytes.
+  std::set<std::string> fact_cols;
+  if (spec.fact_filter != nullptr) spec.fact_filter->CollectColumns(&fact_cols);
+  for (const auto& join : spec.joins) fact_cols.insert(join.probe_key);
+  for (const auto& agg : spec.aggs) {
+    if (agg.value != nullptr) agg.value->CollectColumns(&fact_cols);
+  }
+  std::set<std::string> payload_names;
+  for (const auto& join : spec.joins) {
+    for (const auto& p : join.payload) payload_names.insert(p);
+  }
+  for (const auto& c : fact_cols) {
+    if (payload_names.find(c) == payload_names.end()) {
+      stats.fact_bytes += fact.column(c).bytes();
+    }
+  }
+
+  // Dimension indexes.
+  struct Dim {
+    const storage::Table* table;
+    std::unordered_multimap<int64_t, uint64_t> index;
+  };
+  std::vector<Dim> dims(n_joins);
+  uint64_t dim_row = 0;
+  for (size_t j = 0; j < n_joins; ++j) {
+    const auto& join = spec.joins[j];
+    const storage::Table& table = catalog.at(join.build_table);
+    dims[j].table = &table;
+    stats.dim_rows[j] = table.rows();
+    stats.dim_bytes += table.column(join.build_key).bytes();
+    for (const auto& p : join.payload) stats.dim_bytes += table.column(p).bytes();
+
+    RowEnv env;
+    std::set<std::string> cols;
+    if (join.build_filter != nullptr) join.build_filter->CollectColumns(&cols);
+    for (const auto& c : cols) env.Bind(c, &table.column(c), &dim_row);
+    const plan::RowGetter getter = [&env](const std::string& n) {
+      return env.Get(n);
+    };
+    for (dim_row = 0; dim_row < table.rows(); ++dim_row) {
+      if (join.build_filter != nullptr && join.build_filter->Eval(getter) == 0) {
+        continue;
+      }
+      ++stats.dim_selected[j];
+      dims[j].index.emplace(table.column(join.build_key).At(dim_row), dim_row);
+    }
+  }
+
+  // Fact scan.
+  uint64_t fact_row = 0;
+  std::vector<uint64_t> matched(n_joins, 0);
+  RowEnv env;
+  {
+    std::set<std::string> cols;
+    if (spec.fact_filter != nullptr) spec.fact_filter->CollectColumns(&cols);
+    for (const auto& agg : spec.aggs) {
+      if (agg.value != nullptr) agg.value->CollectColumns(&cols);
+    }
+    for (const auto& g : spec.group_by) g->CollectColumns(&cols);
+    for (size_t j = 0; j < n_joins; ++j) cols.insert(spec.joins[j].probe_key);
+    for (const auto& c : cols) {
+      bool is_payload = false;
+      for (size_t j = 0; j < n_joins; ++j) {
+        for (const auto& p : spec.joins[j].payload) {
+          if (p == c) {
+            env.Bind(c, &dims[j].table->column(c), &matched[j]);
+            is_payload = true;
+            break;
+          }
+        }
+        if (is_payload) break;
+      }
+      if (!is_payload) env.Bind(c, &fact.column(c), &fact_row);
+    }
+  }
+  const plan::RowGetter getter = [&env](const std::string& n) { return env.Get(n); };
+
+  const bool grouped = !spec.group_by.empty();
+  const plan::ExprPtr group_key =
+      grouped ? plan::CombineGroupKeys(spec.group_by) : nullptr;
+  std::map<int64_t, std::vector<int64_t>> groups;
+  std::vector<int64_t> scalars(spec.aggs.size());
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    scalars[a] = jit::AggIdentity(spec.aggs[a].func);
+  }
+
+  std::function<void(size_t)> probe = [&](size_t j) {
+    if (j == n_joins) {
+      ++stats.agg_inputs;
+      if (grouped) {
+        auto [it, inserted] = groups.try_emplace(group_key->Eval(getter));
+        if (inserted) {
+          it->second.resize(spec.aggs.size());
+          for (size_t a = 0; a < spec.aggs.size(); ++a) {
+            it->second[a] = jit::AggIdentity(spec.aggs[a].func == jit::AggFunc::kCount
+                                                 ? jit::AggFunc::kSum
+                                                 : spec.aggs[a].func);
+          }
+        }
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          if (spec.aggs[a].func == jit::AggFunc::kCount) {
+            jit::AggApply(jit::AggFunc::kSum, &it->second[a], 1);
+          } else {
+            jit::AggApply(spec.aggs[a].func, &it->second[a],
+                          spec.aggs[a].value->Eval(getter));
+          }
+        }
+      } else {
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          const int64_t v = spec.aggs[a].func == jit::AggFunc::kCount
+                                ? 0
+                                : spec.aggs[a].value->Eval(getter);
+          jit::AggApply(spec.aggs[a].func, &scalars[a], v);
+        }
+      }
+      return;
+    }
+    ++stats.probe_inputs[j];
+    const int64_t key = fact.column(spec.joins[j].probe_key).At(fact_row);
+    auto [lo, hi] = dims[j].index.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      matched[j] = it->second;
+      ++stats.probe_outputs[j];
+      probe(j + 1);
+    }
+  };
+
+  for (fact_row = 0; fact_row < fact.rows(); ++fact_row) {
+    if (spec.fact_filter != nullptr && spec.fact_filter->Eval(getter) == 0) continue;
+    ++stats.after_filter;
+    probe(0);
+  }
+
+  if (grouped) {
+    stats.groups = groups.size();
+    for (const auto& [key, accs] : groups) {
+      std::vector<int64_t> row{key};
+      row.insert(row.end(), accs.begin(), accs.end());
+      stats.rows.push_back(std::move(row));
+    }
+  } else {
+    stats.groups = 1;
+    stats.rows.push_back(scalars);
+  }
+  return stats;
+}
+
+}  // namespace hetex::baselines

@@ -1,0 +1,44 @@
+#ifndef HETEX_BASELINES_OP_STATS_H_
+#define HETEX_BASELINES_OP_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "storage/table.h"
+
+namespace hetex::baselines {
+
+/// \brief Per-operator cardinalities of one query evaluation, plus the (correct)
+/// result rows.
+///
+/// Both commercial-engine emulations share one functional evaluation: their
+/// *paradigm* differences (vector materialization vs operator-at-a-time kernels)
+/// are cost-structure differences over identical operator cardinalities, so the
+/// evaluation is done once and each engine converts the counts into modeled time
+/// its own way.
+struct OpStats {
+  uint64_t fact_rows = 0;
+  uint64_t after_filter = 0;            ///< fact tuples surviving the fact filter
+  std::vector<uint64_t> probe_inputs;   ///< tuples entering probe of join j
+  std::vector<uint64_t> probe_outputs;  ///< tuples surviving join j
+  std::vector<uint64_t> dim_rows;       ///< build-side rows per join
+  std::vector<uint64_t> dim_selected;   ///< build rows passing the build filter
+  uint64_t agg_inputs = 0;              ///< tuples reaching aggregation
+  uint64_t groups = 0;                  ///< distinct output groups
+  std::vector<std::vector<int64_t>> rows;  ///< result (reference layout)
+
+  /// Bytes of fact columns the query touches (working set for transfer/fit
+  /// decisions).
+  uint64_t fact_bytes = 0;
+  uint64_t dim_bytes = 0;
+};
+
+/// Evaluates a query functionally (single-threaded, correct) and records the
+/// operator cardinalities above.
+OpStats EvaluateWithStats(const plan::QuerySpec& spec,
+                          const storage::Catalog& catalog);
+
+}  // namespace hetex::baselines
+
+#endif  // HETEX_BASELINES_OP_STATS_H_

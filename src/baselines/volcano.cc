@@ -1,0 +1,346 @@
+#include "baselines/volcano.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "jit/hash_table.h"
+
+namespace hetex::baselines {
+
+namespace {
+
+using plan::QuerySpec;
+using storage::Table;
+
+/// A row flowing through the iterator tree: values addressed by schema slot.
+using Row = std::vector<int64_t>;
+
+/// Schema: column name -> slot in the Row.
+class Schema {
+ public:
+  int Add(const std::string& name) {
+    auto [it, inserted] = slots_.try_emplace(name, static_cast<int>(slots_.size()));
+    return it->second;
+  }
+  int SlotOf(const std::string& name) const {
+    auto it = slots_.find(name);
+    HETEX_CHECK(it != slots_.end()) << "volcano: unbound column " << name;
+    return it->second;
+  }
+  bool Has(const std::string& name) const { return slots_.count(name) > 0; }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> slots_;
+};
+
+/// The classical iterator interface: open()/next()/close() (paper §2.2).
+/// next() fills `row` and returns true, or returns false at end of input.
+/// `calls` counts next() invocations across the whole tree — the quantity the
+/// interpretation-overhead model charges.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+  virtual void Open() = 0;
+  virtual bool Next(Row* row) = 0;
+  virtual void Close() = 0;
+};
+
+class ScanIterator : public Iterator {
+ public:
+  ScanIterator(const Table* table, const std::vector<std::string>& cols,
+               const Schema& schema, uint64_t row_begin, uint64_t row_end,
+               uint64_t* calls, sim::CostStats* stats)
+      : table_(table), row_(row_begin), end_(row_end), calls_(calls),
+        stats_(stats) {
+    for (const auto& name : cols) {
+      cols_.push_back({&table->column(name), schema.SlotOf(name)});
+    }
+  }
+
+  void Open() override {}
+  bool Next(Row* row) override {
+    ++*calls_;
+    if (row_ >= end_) return false;
+    for (const auto& [col, slot] : cols_) {
+      (*row)[slot] = col->At(row_);
+      stats_->bytes_read += col->width();
+    }
+    ++row_;
+    ++stats_->tuples;
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  const Table* table_;
+  std::vector<std::pair<const storage::Column*, int>> cols_;
+  uint64_t row_;
+  uint64_t end_;
+  uint64_t* calls_;
+  sim::CostStats* stats_;
+};
+
+class FilterIterator : public Iterator {
+ public:
+  FilterIterator(std::unique_ptr<Iterator> child, plan::ExprPtr predicate,
+                 const Schema* schema, uint64_t* calls)
+      : child_(std::move(child)), predicate_(std::move(predicate)),
+        schema_(schema), calls_(calls) {}
+
+  void Open() override { child_->Open(); }
+  bool Next(Row* row) override {
+    ++*calls_;
+    while (child_->Next(row)) {
+      const auto getter = [&](const std::string& name) {
+        return (*row)[schema_->SlotOf(name)];
+      };
+      if (predicate_->Eval(getter) != 0) return true;
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  plan::ExprPtr predicate_;
+  const Schema* schema_;
+  uint64_t* calls_;
+};
+
+/// Hash join against a pre-built (shared, read-only) dimension index.
+class HashJoinIterator : public Iterator {
+ public:
+  struct BuildSide {
+    std::unordered_multimap<int64_t, Row> index;  ///< key -> payload row values
+    std::vector<int> payload_slots;               ///< slots in the probe schema
+    uint64_t bytes = 0;                           ///< modeled footprint
+  };
+
+  HashJoinIterator(std::unique_ptr<Iterator> child, const BuildSide* build,
+                   int key_slot, size_t row_width, uint64_t* calls,
+                   sim::CostStats* stats, int access_class)
+      : child_(std::move(child)), build_(build), key_slot_(key_slot),
+        calls_(calls), stats_(stats), access_class_(access_class),
+        pending_(row_width) {}
+
+  void Open() override { child_->Open(); }
+
+  bool Next(Row* row) override {
+    ++*calls_;
+    while (true) {
+      if (matches_ != end_) {
+        EmitMatch(row);
+        return true;
+      }
+      if (!child_->Next(&pending_)) return false;
+      switch (access_class_) {
+        case 0: ++stats_->near_accesses; break;
+        case 1: ++stats_->mid_accesses; break;
+        default: ++stats_->far_accesses; break;
+      }
+      std::tie(matches_, end_) = build_->index.equal_range(pending_[key_slot_]);
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  void EmitMatch(Row* row) {
+    *row = pending_;
+    const Row& payload = matches_->second;
+    for (size_t i = 0; i < build_->payload_slots.size(); ++i) {
+      (*row)[build_->payload_slots[i]] = payload[i];
+    }
+    ++matches_;
+  }
+
+  std::unique_ptr<Iterator> child_;
+  const BuildSide* build_;
+  int key_slot_;
+  uint64_t* calls_;
+  sim::CostStats* stats_;
+  int access_class_;
+  Row pending_;
+  std::unordered_multimap<int64_t, Row>::const_iterator matches_{};
+  std::unordered_multimap<int64_t, Row>::const_iterator end_ = matches_;
+};
+
+}  // namespace
+
+core::QueryResult VolcanoEngine::Execute(const QuerySpec& spec) {
+  Timer timer;
+  core::QueryResult result;
+  const sim::Topology& topo = system_->topology();
+  const sim::CostModel& cm = topo.cost_model();
+  const Table& fact = system_->catalog().at(spec.fact_table);
+  const int workers =
+      options_.workers < 0 ? topo.num_cores() : std::max(1, options_.workers);
+
+  // ---- Schema of the row flowing through the tree: fact columns + payloads.
+  Schema schema;
+  std::set<std::string> fact_cols;
+  if (spec.fact_filter != nullptr) spec.fact_filter->CollectColumns(&fact_cols);
+  for (const auto& join : spec.joins) fact_cols.insert(join.probe_key);
+  std::set<std::string> payload_names;
+  for (const auto& join : spec.joins) {
+    for (const auto& p : join.payload) payload_names.insert(p);
+  }
+  for (const auto& agg : spec.aggs) {
+    if (agg.value != nullptr) agg.value->CollectColumns(&fact_cols);
+  }
+  for (const auto& g : spec.group_by) g->CollectColumns(&fact_cols);
+  std::vector<std::string> scan_cols;
+  for (const auto& c : fact_cols) {
+    if (payload_names.find(c) == payload_names.end()) {
+      schema.Add(c);
+      scan_cols.push_back(c);
+    }
+  }
+  for (const auto& p : payload_names) schema.Add(p);
+
+  // ---- Build the shared dimension indexes (single-threaded, as in the
+  // classical Exchange plan: builds below the Exchange run once).
+  sim::CostStats build_stats;
+  uint64_t build_calls = 0;
+  std::vector<HashJoinIterator::BuildSide> builds(spec.joins.size());
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const auto& join = spec.joins[j];
+    const Table& dim = system_->catalog().at(join.build_table);
+    for (const auto& p : join.payload) {
+      builds[j].payload_slots.push_back(schema.SlotOf(p));
+    }
+    const auto getter = [&](uint64_t r) {
+      return [&dim, r](const std::string& name) { return dim.column(name).At(r); };
+    };
+    for (uint64_t r = 0; r < dim.rows(); ++r) {
+      ++build_calls;
+      ++build_stats.tuples;
+      build_stats.bytes_read += 8;
+      if (join.build_filter != nullptr && join.build_filter->Eval(getter(r)) == 0) {
+        continue;
+      }
+      Row payload(join.payload.size());
+      for (size_t i = 0; i < join.payload.size(); ++i) {
+        payload[i] = dim.column(join.payload[i]).At(r);
+      }
+      builds[j].index.emplace(dim.column(join.build_key).At(r), std::move(payload));
+      ++build_stats.near_accesses;
+      build_stats.bytes_written += 16 + 8 * join.payload.size();
+    }
+    builds[j].bytes = builds[j].index.size() * (32 + 8 * join.payload.size());
+  }
+
+  // ---- Per-worker iterator trees over row ranges (Exchange-style horizontal
+  // parallelism with a final merge).
+  const bool grouped = !spec.group_by.empty();
+  const plan::ExprPtr group_key =
+      grouped ? plan::CombineGroupKeys(spec.group_by) : nullptr;
+  std::map<int64_t, std::vector<int64_t>> groups;
+  std::vector<int64_t> scalars(spec.aggs.size());
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    scalars[a] = jit::AggIdentity(spec.aggs[a].func);
+  }
+  sim::CostStats work;
+  uint64_t next_calls = 0;
+
+  const uint64_t rows = fact.rows();
+  const uint64_t per_worker = (rows + workers - 1) / workers;
+  // Functional execution is single-threaded over the ranges (results must not
+  // depend on interleaving); the cost model divides by `workers` below.
+  for (int w = 0; w < workers; ++w) {
+    const uint64_t begin = std::min<uint64_t>(w * per_worker, rows);
+    const uint64_t end = std::min<uint64_t>(begin + per_worker, rows);
+    if (begin == end) continue;
+
+    std::unique_ptr<Iterator> tree = std::make_unique<ScanIterator>(
+        &fact, scan_cols, schema, begin, end, &next_calls, &work);
+    if (spec.fact_filter != nullptr) {
+      tree = std::make_unique<FilterIterator>(std::move(tree), spec.fact_filter,
+                                              &schema, &next_calls);
+    }
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      tree = std::make_unique<HashJoinIterator>(
+          std::move(tree), &builds[j], schema.SlotOf(spec.joins[j].probe_key),
+          schema.size(), &next_calls, &work,
+          cm.RandomAccessClass(builds[j].bytes));
+    }
+
+    Row row(schema.size());
+    tree->Open();
+    const auto getter = [&](const std::string& name) {
+      return row[schema.SlotOf(name)];
+    };
+    while (tree->Next(&row)) {
+      if (grouped) {
+        auto [it, inserted] = groups.try_emplace(group_key->Eval(getter));
+        if (inserted) {
+          it->second.resize(spec.aggs.size());
+          for (size_t a = 0; a < spec.aggs.size(); ++a) {
+            it->second[a] =
+                jit::AggIdentity(spec.aggs[a].func == jit::AggFunc::kCount
+                                     ? jit::AggFunc::kSum
+                                     : spec.aggs[a].func);
+          }
+        }
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          if (spec.aggs[a].func == jit::AggFunc::kCount) {
+            jit::AggApply(jit::AggFunc::kSum, &it->second[a], 1);
+          } else {
+            jit::AggApply(spec.aggs[a].func, &it->second[a],
+                          spec.aggs[a].value->Eval(getter));
+          }
+        }
+        ++work.near_accesses;
+      } else {
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          const int64_t v = spec.aggs[a].func == jit::AggFunc::kCount
+                                ? 0
+                                : spec.aggs[a].value->Eval(getter);
+          jit::AggApply(spec.aggs[a].func, &scalars[a], v);
+        }
+      }
+      ++next_calls;  // the aggregation root's next()
+    }
+    tree->Close();
+  }
+
+  // ---- Modeled time: the shared data costs plus one interpretation charge per
+  // next() call, divided over the workers.
+  const double w = static_cast<double>(workers);
+  sim::CostStats per_worker_stats = work;
+  per_worker_stats.bytes_read = static_cast<uint64_t>(work.bytes_read / w);
+  per_worker_stats.bytes_written = static_cast<uint64_t>(work.bytes_written / w);
+  per_worker_stats.tuples = static_cast<uint64_t>(work.tuples / w);
+  per_worker_stats.near_accesses = static_cast<uint64_t>(work.near_accesses / w);
+  per_worker_stats.mid_accesses = static_cast<uint64_t>(work.mid_accesses / w);
+  per_worker_stats.far_accesses = static_cast<uint64_t>(work.far_accesses / w);
+  const double share =
+      std::min(cm.cpu_core_bw, cm.cpu_socket_bw * topo.num_sockets() / w);
+  const sim::VTime data_time = cm.WorkCost(per_worker_stats, cm.cpu, share);
+  const sim::VTime interp_time = next_calls / w * options_.next_call_cost;
+  const sim::VTime build_time =
+      cm.WorkCost(build_stats, cm.cpu, cm.cpu_core_bw) +
+      build_calls * options_.next_call_cost;
+
+  if (grouped) {
+    for (const auto& [key, accs] : groups) {
+      std::vector<int64_t> out_row{key};
+      out_row.insert(out_row.end(), accs.begin(), accs.end());
+      result.rows.push_back(std::move(out_row));
+    }
+  } else {
+    result.rows.push_back(scalars);
+  }
+  result.modeled_seconds =
+      options_.startup_seconds + build_time + data_time + interp_time;
+  result.stats = work;
+  result.stats.Add(build_stats);
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hetex::baselines

@@ -1,0 +1,28 @@
+#ifndef HETEX_COMMON_HASH_H_
+#define HETEX_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace hetex {
+
+/// 64-bit finalizer (MurmurHash3 fmix64). Used for hash joins, hash-pack block
+/// bucketing and hash-based routing; the same mix is used by generated pipeline
+/// code and by the runtime so that hash-pack invariants line up with router
+/// decisions.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t h, uint64_t k) {
+  return h ^ (HashMix64(k) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace hetex
+
+#endif  // HETEX_COMMON_HASH_H_

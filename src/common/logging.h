@@ -1,0 +1,63 @@
+#ifndef HETEX_COMMON_LOGGING_H_
+#define HETEX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hetex {
+
+/// Severity levels for the engine logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarning so that
+/// tests and benchmarks stay quiet unless something is wrong.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log message that emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hetex
+
+#define HETEX_LOG(level) \
+  ::hetex::internal::LogMessage(::hetex::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK aborts (even in release builds): invariants in a database engine must not
+/// be silently violated.
+#define HETEX_CHECK(cond)                                                      \
+  if (!(cond))                                                                 \
+  ::hetex::internal::LogMessage(::hetex::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define HETEX_CHECK_OK(expr)                                  \
+  do {                                                        \
+    ::hetex::Status _st = (expr);                             \
+    HETEX_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define HETEX_DCHECK(cond) HETEX_CHECK(cond)
+
+#endif  // HETEX_COMMON_LOGGING_H_

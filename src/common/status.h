@@ -1,0 +1,109 @@
+#ifndef HETEX_COMMON_STATUS_H_
+#define HETEX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hetex {
+
+/// Error codes used across the engine. Modeled after the Status idiom used by
+/// production storage engines (Arrow / RocksDB): cheap to pass by value, no
+/// exceptions on hot paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kUnsupported,     ///< feature not supported by the engine (e.g. DBMS G string ops)
+  kInternal,
+  kResourceExhausted,
+};
+
+/// \brief Result of an operation that can fail without a payload.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfMemory: return "OutOfMemory";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Status with a value payload; holds either a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define HETEX_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::hetex::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace hetex
+
+#endif  // HETEX_COMMON_STATUS_H_

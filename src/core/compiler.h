@@ -1,0 +1,90 @@
+#ifndef HETEX_CORE_COMPILER_H_
+#define HETEX_CORE_COMPILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jit/program.h"
+#include "plan/query_spec.h"
+#include "sim/cost_model.h"
+#include "storage/table.h"
+
+namespace hetex::core {
+
+/// One column of a pipeline's input or output schema.
+struct ColSlot {
+  std::string name;
+  uint32_t width = 8;
+};
+
+/// \brief A device-agnostic compiled pipeline: the fused program plus the schema
+/// and state metadata the runtime needs to bind it to an instance.
+///
+/// The program is generated once; each instance takes a copy and finalizes it
+/// through its DeviceProvider (the paper's per-device "pipeline template"
+/// instantiation, §4.2).
+struct CompiledPipeline {
+  jit::PipelineProgram program;
+  std::vector<ColSlot> input_cols;
+  std::vector<ColSlot> output_cols;      ///< per-tuple emit schema (may be empty)
+  std::vector<int> ht_join_slots;        ///< ht slot index -> join id (probes)
+  int agg_ht_slot = -1;                  ///< slot of the group-by hash table
+  int n_group_vals = 0;                  ///< aggregates folded per group
+  jit::AggFunc group_funcs[8] = {};
+  uint64_t groups_capacity = 0;
+};
+
+/// Aggregation function used when merging partial aggregates (COUNT partials are
+/// summed; SUM/MIN/MAX merge with themselves).
+jit::AggFunc MergeFunc(jit::AggFunc f);
+
+/// \brief Generates the fused pipeline programs for a query.
+///
+/// This is the produce()/consume() stage of the paper's §4.1: relational operators
+/// contribute straight-line VM code in consume order (filters first, then the
+/// probe loops of each join, then accumulation), and HetExchange operators define
+/// the pipeline boundaries. Hash-table random-access size classes are stamped into
+/// the code from the modeled table footprints.
+class QueryCompiler {
+ public:
+  QueryCompiler(const plan::QuerySpec& spec, const storage::Catalog& catalog,
+                const sim::CostModel& cost_model);
+
+  /// Build pipeline of join `j`: filter + key/payload extraction + HT insert.
+  CompiledPipeline CompileBuild(int join_id) const;
+
+  /// The fused fact pipeline: filters, all probe loops, local aggregation.
+  /// When `input_schema` is non-null, the pipeline reads that schema (stage B of
+  /// a split plan) instead of the fact table.
+  CompiledPipeline CompileProbe(const std::vector<ColSlot>* input_schema) const;
+
+  /// Stage A of a split plan: filter + hash-pack emit of the surviving columns.
+  /// `n_buckets` hash-pack buckets keyed on the first join's probe key.
+  CompiledPipeline CompileFilterStage(int n_buckets) const;
+
+  /// Global merge of partial aggregates (the gather pipeline).
+  CompiledPipeline CompileGather() const;
+
+  /// Schema of the partial-aggregate messages probe instances emit.
+  std::vector<ColSlot> PartialsSchema() const;
+
+  /// Estimated bytes of join `j`'s hash table (drives the access size class and
+  /// the build capacity).
+  uint64_t JoinHtBytes(int join_id) const;
+  uint64_t JoinHtCapacity(int join_id) const;
+  int JoinPayloadWidth(int join_id) const {
+    return static_cast<int>(spec_->joins.at(join_id).payload.size());
+  }
+
+  const plan::QuerySpec& spec() const { return *spec_; }
+
+ private:
+  const plan::QuerySpec* spec_;
+  const storage::Catalog* catalog_;
+  const sim::CostModel* cost_model_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_COMPILER_H_

@@ -1,0 +1,44 @@
+#ifndef HETEX_CORE_EXECUTOR_H_
+#define HETEX_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/system.h"
+#include "plan/het_plan.h"
+#include "plan/query_spec.h"
+#include "sim/cost_model.h"
+
+namespace hetex::core {
+
+/// Outcome of a query execution.
+struct QueryResult {
+  Status status = Status::OK();
+  /// Result rows: scalar aggregates = one row of accumulator values; group-bys =
+  /// [combined group key, aggregates...], sorted by key.
+  std::vector<std::vector<int64_t>> rows;
+  sim::VTime modeled_seconds = 0;  ///< virtual-time latency on the modeled server
+  double wall_seconds = 0;         ///< host wall-clock of the functional execution
+  sim::CostStats stats;            ///< aggregate work counters
+};
+
+/// \brief Compiles and runs queries on a System under an ExecPolicy.
+///
+/// Orchestration follows the paper's phased pipeline networks: all join-build
+/// graphs run concurrently (they are independent star-schema dimensions), then the
+/// fused probe graph runs, with instance virtual clocks starting at the build
+/// completion watermark. Routers, mem-moves, device crossings and pack/unpack all
+/// live on the edges between worker groups.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(System* system) : system_(system) {}
+
+  QueryResult Execute(const plan::QuerySpec& spec, const plan::ExecPolicy& policy);
+
+ private:
+  System* system_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#ifndef HETEX_CORE_PROCESSOR_H_
+#define HETEX_CORE_PROCESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/runtime.h"
+
+namespace hetex::core {
+
+/// \brief Everything a worker group needs to run one compiled stage.
+///
+/// One StageConfig is shared by all instances of a group; each instance finalizes
+/// its own copy of the program through its device provider and binds its own
+/// state (the paper's per-device pipeline template + per-instance state creation,
+/// §4.2).
+struct StageConfig {
+  enum class Role {
+    kBuild,        ///< feeds a join hash table (pipeline breaker into state)
+    kProbe,        ///< fused filter/probe/local-aggregate stage
+    kFilterStage,  ///< stage A of a split plan: filter + hash-pack emit
+    kGather,       ///< global merge of partials, writes the result sink
+  };
+
+  Role role = Role::kProbe;
+  CompiledPipeline pipeline;
+
+  HtRegistry* hts = nullptr;
+  Edge* out = nullptr;          ///< downstream edge (null for gather)
+  ResultSink* result = nullptr; ///< gather only
+
+  // Build stages.
+  int build_join_id = -1;
+  uint64_t build_capacity = 0;
+  int build_payload_width = 0;
+
+  // Emit configuration.
+  uint64_t block_bytes = 1ull << 20;
+  int n_buckets = 1;            ///< hash-pack buckets (>1 only for kFilterStage)
+
+  // Bare-GPU (UVA) mode: kernels may read host-resident blocks over PCIe.
+  bool allow_uva = false;
+  double uva_bw = 0.0;
+};
+
+/// Creates the block processor for one instance of a stage.
+std::unique_ptr<BlockProcessor> MakeVmProcessor(const StageConfig* config);
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_PROCESSOR_H_

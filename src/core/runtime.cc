@@ -1,0 +1,378 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetex::core {
+
+WorkerInstance::WorkerInstance(int id, sim::DeviceId device, System* system,
+                               size_t channel_capacity)
+    : id_(id),
+      device_(device),
+      system_(system),
+      provider_(system->MakeProvider(device)),
+      channel_(channel_capacity) {}
+
+Edge::Edge(System* system, Options options, std::vector<WorkerInstance*> consumers)
+    : system_(system), options_(options), consumers_(std::move(consumers)) {
+  HETEX_CHECK(!consumers_.empty()) << "edge with no consumers";
+}
+
+void Edge::CloseProducer() {
+  if (producers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    for (WorkerInstance* c : consumers_) c->channel().Close();
+  }
+}
+
+namespace {
+
+/// Does `dev` need a mem-move to consume a block on `node`? (kRemotePcie counts:
+/// the whole point of mem-move is avoiding PCIe-latency element accesses.)
+bool NeedsMove(const sim::Topology& topo, sim::DeviceId dev, sim::MemNodeId node) {
+  return topo.CanAccess(dev, node) != sim::MemAccess::kLocal;
+}
+
+bool MsgNeedsMove(const sim::Topology& topo, sim::DeviceId dev, const DataMsg& msg) {
+  for (const auto& h : msg.cols) {
+    if (NeedsMove(topo, dev, h.node())) return true;
+  }
+  return false;
+}
+
+void AddRefMsgBlocks(DataMsg& msg) {
+  for (auto& h : msg.cols) {
+    if (h.block->owner != nullptr) memory::BlockManager::AddRef(h.block);
+  }
+}
+
+}  // namespace
+
+void ReleaseMsgBlocks(System* system, DataMsg& msg, sim::MemNodeId holder_node) {
+  for (auto& h : msg.cols) {
+    if (h.block != nullptr && h.block->owner != nullptr) {
+      system->blocks().Release(h.block, holder_node);
+    }
+  }
+  msg.cols.clear();
+}
+
+DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
+                         sim::MemNodeId producer_node) {
+  const sim::Topology& topo = system_->topology();
+  DataMsg out;
+  out.rows = msg.rows;
+  out.ready_at = msg.ready_at;
+  out.tag = msg.tag;
+
+  for (auto& h : msg.cols) {
+    if (h.node() == target_node) {
+      // Already local: forward the handle, no transfer (paper §3.2).
+      if (h.block->owner != nullptr) memory::BlockManager::AddRef(h.block);
+      out.cols.push_back(h);
+      continue;
+    }
+    const bool src_gpu = topo.mem_node(h.node()).is_gpu;
+    const bool dst_gpu = topo.mem_node(target_node).is_gpu;
+
+    auto copy_over_link = [&](const memory::BlockHandle& src,
+                              sim::MemNodeId dst_node, int link,
+                              sim::VTime earliest) {
+      memory::Block* dst = system_->blocks().Acquire(dst_node, producer_node);
+      HETEX_CHECK(dst->capacity >= src.bytes) << "staging block too small";
+      sim::TransferTicket ticket = system_->dma().Transfer(
+          src.data(), dst->data, src.bytes, link, earliest, !src.block->pinned);
+      memory::BlockHandle moved;
+      moved.block = dst;
+      moved.bytes = src.bytes;
+      moved.rows = src.rows;
+      moved.ready_at = ticket.ready_at();
+      return std::make_pair(moved, ticket);
+    };
+
+    if (!src_gpu && dst_gpu) {
+      const int gpu = topo.mem_node(target_node).owner.index;
+      auto [moved, ticket] =
+          copy_over_link(h, target_node, topo.PcieLinkOf(gpu), msg.ready_at);
+      out.cols.push_back(moved);
+      out.tickets.push_back(ticket);
+    } else if (src_gpu && !dst_gpu) {
+      const int gpu = topo.mem_node(h.node()).owner.index;
+      auto [moved, ticket] =
+          copy_over_link(h, target_node, topo.PcieLinkOf(gpu), msg.ready_at);
+      out.cols.push_back(moved);
+      out.tickets.push_back(ticket);
+    } else if (src_gpu && dst_gpu) {
+      // No peer access on this server: stage through the source GPU's host socket.
+      const int src_gpu_id = topo.mem_node(h.node()).owner.index;
+      const int dst_gpu_id = topo.mem_node(target_node).owner.index;
+      const sim::MemNodeId host =
+          topo.socket(topo.gpu(src_gpu_id).socket).mem;
+      auto [staged, t1] =
+          copy_over_link(h, host, topo.PcieLinkOf(src_gpu_id), msg.ready_at);
+      t1.Wait();  // functional ordering: hop 2 reads the staging buffer
+      auto [moved, t2] = copy_over_link(staged, target_node,
+                                        topo.PcieLinkOf(dst_gpu_id), t1.ready_at());
+      out.cols.push_back(moved);
+      out.tickets.push_back(t2);
+      out.release_after_wait.push_back(staged.block);
+    } else {
+      HETEX_CHECK(false) << "host-to-host moves need no mem-move on this server";
+    }
+    if (h.block->owner != nullptr) {
+      // The DMA still reads the source: hand a reference to the consumer to
+      // release once the transfer completed.
+      memory::BlockManager::AddRef(h.block);
+      out.release_after_wait.push_back(h.block);
+    }
+  }
+  // The producer's own references are no longer needed: the consumer-held
+  // references above (moved handles / post-DMA releases) keep everything alive.
+  ReleaseMsgBlocks(system_, msg, producer_node);
+  return out;
+}
+
+void Edge::DeliverTo(WorkerInstance* target, DataMsg msg,
+                     sim::MemNodeId producer_node) {
+  const sim::Topology& topo = system_->topology();
+  if (options_.mem_move && MsgNeedsMove(topo, target->device(), msg)) {
+    msg = MoveToNode(std::move(msg), target->node(), producer_node);
+  } else if (!options_.mem_move) {
+    // UVA-style edge (bare GPU mode): the consumer must at least be able to
+    // address the data; it pays PCIe bandwidth while executing.
+    for (const auto& h : msg.cols) {
+      HETEX_CHECK(topo.CanAccess(target->device(), h.node()) !=
+                  sim::MemAccess::kNone)
+          << "consumer " << target->device().ToString()
+          << " cannot address block on node " << h.node();
+    }
+  }
+  target->NoteEnqueued();
+  const bool pushed = target->channel().Push(std::move(msg));
+  HETEX_CHECK(pushed) << "push to closed consumer channel";
+}
+
+void Edge::Push(DataMsg msg, sim::MemNodeId producer_node) {
+  msg.ready_at += options_.control_cost + options_.crossing_latency;
+  const sim::Topology& topo = system_->topology();
+
+  if (options_.policy == Policy::kBroadcast) {
+    // Mem-move owns broadcast (data-flow duplication); the router then routes by
+    // target id — from its perspective this is just a hash policy (§3.1).
+    for (size_t i = 0; i < consumers_.size(); ++i) {
+      DataMsg copy;
+      copy.rows = msg.rows;
+      copy.ready_at = msg.ready_at;
+      copy.tag = i;  // target id produced by the mem-move
+      copy.cols = msg.cols;
+      AddRefMsgBlocks(copy);
+      DeliverTo(consumers_[i], std::move(copy), producer_node);
+    }
+    ReleaseMsgBlocks(system_, msg, producer_node);
+    return;
+  }
+
+  WorkerInstance* target = nullptr;
+  switch (options_.policy) {
+    case Policy::kRoundRobin: {
+      target = consumers_[rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                          consumers_.size()];
+      break;
+    }
+    case Policy::kHash: {
+      target = consumers_[msg.tag % consumers_.size()];
+      break;
+    }
+    case Policy::kLoadBalance: {
+      // GPU-resident blocks go to their local GPU (avoids absurd device->host->
+      // device round trips); everything else goes to the least-backlogged
+      // consumer in virtual time.
+      const sim::MemNodeId node = msg.cols.empty() ? -1 : msg.cols[0].node();
+      const bool gpu_resident = node >= 0 && topo.mem_node(node).is_gpu;
+      uint64_t msg_bytes = 0;
+      for (const auto& h : msg.cols) msg_bytes += h.bytes;
+      const sim::CostModel& cm = topo.cost_model();
+      double best = 0;
+      for (WorkerInstance* c : consumers_) {
+        if (gpu_resident && c->node() != node) continue;
+        // Bandwidth-based prior: a GPU consumer of non-local data is PCIe-bound;
+        // a CPU worker streams at (at best) one core's share of its socket.
+        double prior_rate = cm.cpu_core_bw;
+        if (c->device().is_gpu()) {
+          prior_rate = (node >= 0 && c->node() == node) ? cm.gpu_mem_bw : cm.pcie_bw;
+        }
+        const double backlog =
+            c->EstimatedBacklog(static_cast<double>(msg_bytes) / prior_rate);
+        if (target == nullptr || backlog < best) {
+          target = c;
+          best = backlog;
+        }
+      }
+      if (target == nullptr) target = consumers_[0];
+      break;
+    }
+    case Policy::kBroadcast:
+      break;  // handled above
+  }
+  DeliverTo(target, std::move(msg), producer_node);
+}
+
+WorkerGroup::WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
+                         ProcessorFactory factory, Edge* out,
+                         size_t channel_capacity, sim::VTime initial_clock)
+    : system_(system),
+      factory_(std::move(factory)),
+      out_(out),
+      initial_clock_(initial_clock) {
+  int id = 0;
+  for (const auto& dev : devices) {
+    instances_.push_back(
+        std::make_unique<WorkerInstance>(id++, dev, system, channel_capacity));
+  }
+}
+
+std::vector<WorkerInstance*> WorkerGroup::instance_ptrs() {
+  std::vector<WorkerInstance*> out;
+  out.reserve(instances_.size());
+  for (auto& inst : instances_) out.push_back(inst.get());
+  return out;
+}
+
+void WorkerGroup::Start() {
+  // Deterministic per-socket worker counts drive the CPU fluid-share model.
+  std::map<int, int> socket_workers;
+  for (auto& inst : instances_) {
+    if (inst->device().is_cpu()) socket_workers[inst->device().index] += 1;
+  }
+  for (auto& inst : instances_) {
+    inst->set_clock(initial_clock_);
+    if (inst->device().is_cpu()) {
+      static_cast<jit::CpuProvider&>(inst->provider())
+          .set_socket_concurrency(socket_workers[inst->device().index]);
+    }
+    if (out_ != nullptr) out_->AddProducer();
+  }
+  for (auto& inst : instances_) {
+    threads_.emplace_back([this, raw = inst.get()] { RunInstance(*raw); });
+  }
+}
+
+void WorkerGroup::RunInstance(WorkerInstance& inst) {
+  auto processor = factory_(inst);
+  processor->Init(inst);
+  while (auto msg = inst.channel().Pop()) {
+    inst.NoteDequeued();
+    for (const auto& ticket : msg->tickets) ticket.Wait();
+    for (memory::Block* b : msg->release_after_wait) {
+      if (b->owner != nullptr) system_->blocks().Release(b, inst.node());
+    }
+    msg->release_after_wait.clear();
+    const sim::VTime before = inst.clock();
+    processor->ProcessMsg(inst, *msg);
+    inst.NoteBlockCost(inst.clock() - before);
+    ReleaseMsgBlocks(system_, *msg, inst.node());
+  }
+  processor->Finish(inst);
+  if (out_ != nullptr) out_->CloseProducer();
+}
+
+void WorkerGroup::Join() {
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  for (auto& inst : instances_) max_end_ = sim::MaxT(max_end_, inst->clock());
+}
+
+sim::CostStats WorkerGroup::total_stats() const {
+  sim::CostStats total;
+  for (const auto& inst : instances_) total.Add(inst->stats());
+  return total;
+}
+
+SourceDriver::SourceDriver(System* system, const storage::Table* table,
+                           std::vector<int> col_indices, uint64_t block_rows,
+                           Edge* out, sim::VTime initial_clock,
+                           double per_block_cost)
+    : system_(system),
+      table_(table),
+      col_indices_(std::move(col_indices)),
+      block_rows_(block_rows),
+      out_(out),
+      clock_(initial_clock),
+      per_block_cost_(per_block_cost) {
+  HETEX_CHECK(table_->placed()) << "table " << table_->name() << " not placed";
+  HETEX_CHECK(block_rows_ > 0);
+}
+
+SourceDriver::~SourceDriver() { Join(); }
+
+void SourceDriver::Start() {
+  out_->AddProducer();
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void SourceDriver::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void SourceDriver::Run() {
+  const sim::MemNodeId producer_node = system_->topology().socket(0).mem;
+  for (const auto& chunk : table_->chunks()) {
+    for (uint64_t off = 0; off < chunk.rows; off += block_rows_) {
+      const uint64_t rows = std::min(block_rows_, chunk.rows - off);
+      DataMsg msg;
+      msg.rows = rows;
+      msg.cols.reserve(col_indices_.size());
+      for (int ci : col_indices_) {
+        const auto& col = table_->column(ci);
+        foreign_blocks_.emplace_back();
+        memory::Block& block = foreign_blocks_.back();
+        block.data = chunk.col_data[ci] + off * col.width();
+        block.capacity = rows * col.width();
+        block.node = chunk.node;
+        block.owner = nullptr;
+        block.pinned = table_->pinned();
+        memory::BlockHandle handle;
+        handle.block = &block;
+        handle.bytes = rows * col.width();
+        handle.rows = rows;
+        handle.ready_at = clock_;
+        msg.cols.push_back(handle);
+      }
+      clock_ += per_block_cost_;
+      msg.ready_at = clock_;
+      out_->Push(std::move(msg), producer_node);
+    }
+  }
+  out_->CloseProducer();
+}
+
+jit::JoinHashTable* HtRegistry::Create(int join_id, sim::DeviceId unit,
+                                       memory::MemoryManager* mm, uint64_t capacity,
+                                       int payload_width) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(join_id, UnitOf(unit));
+  HETEX_CHECK(tables_.find(key) == tables_.end())
+      << "duplicate hash table for join " << join_id;
+  auto ht = std::make_unique<jit::JoinHashTable>(mm, capacity, payload_width);
+  jit::JoinHashTable* raw = ht.get();
+  tables_[key] = std::move(ht);
+  return raw;
+}
+
+jit::JoinHashTable* HtRegistry::Get(int join_id, sim::DeviceId unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(std::make_pair(join_id, UnitOf(unit)));
+  HETEX_CHECK(it != tables_.end())
+      << "no hash table for join " << join_id << " on unit " << unit.ToString();
+  return it->second.get();
+}
+
+uint64_t HtRegistry::TotalHtBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, ht] : tables_) total += ht->bytes();
+  return total;
+}
+
+}  // namespace hetex::core

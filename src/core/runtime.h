@@ -1,0 +1,294 @@
+#ifndef HETEX_CORE_RUNTIME_H_
+#define HETEX_CORE_RUNTIME_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "core/system.h"
+#include "jit/device_provider.h"
+#include "jit/hash_table.h"
+#include "sim/dma_engine.h"
+
+namespace hetex::core {
+
+/// \brief The unit of inter-pipeline communication: block handles for each column
+/// of a batch of tuples, plus virtual-time metadata.
+///
+/// This is pure control plane — routing a DataMsg never touches tuple data
+/// (paper §3.1). The mem-move machinery attaches DMA tickets when it schedules
+/// transfers; the consumer waits on them before reading.
+struct DataMsg {
+  std::vector<memory::BlockHandle> cols;
+  uint64_t rows = 0;
+  sim::VTime ready_at = 0;
+  uint64_t tag = 0;  ///< routing tag (hash bucket / broadcast target id)
+  std::vector<sim::TransferTicket> tickets;
+  std::vector<memory::Block*> release_after_wait;  ///< DMA sources to free
+
+  /// Latest virtual time at which every column block (and transfer) is ready.
+  sim::VTime ReadyAt() const {
+    sim::VTime t = ready_at;
+    for (const auto& ticket : tickets) t = sim::MaxT(t, ticket.ready_at());
+    return t;
+  }
+};
+
+using Channel = MpmcQueue<DataMsg>;
+
+class WorkerGroup;
+
+/// \brief One pipeline instance: a worker thread (CPU) or a host control thread
+/// driving kernels on one GPU, with its own provider, virtual clock and input
+/// channel.
+class WorkerInstance {
+ public:
+  WorkerInstance(int id, sim::DeviceId device, System* system,
+                 size_t channel_capacity);
+
+  int id() const { return id_; }
+  sim::DeviceId device() const { return device_; }
+  sim::MemNodeId node() const { return provider_->mem_node(); }
+  jit::DeviceProvider& provider() { return *provider_; }
+  System& system() { return *system_; }
+  Channel& channel() { return channel_; }
+
+  sim::VTime clock() const { return clock_; }
+  void set_clock(sim::VTime t) {
+    clock_ = t;
+    clock_shared_.store(t, std::memory_order_relaxed);
+  }
+  void AdvanceTo(sim::VTime t) {
+    if (t > clock_) set_clock(t);
+  }
+
+  sim::CostStats& stats() { return stats_; }
+
+  /// Estimated virtual time at which this instance would finish everything
+  /// already queued for it — the router's load-balancing signal (virtual-time
+  /// equivalent of the paper's queue-backpressure balancing). `cost_prior` is
+  /// the router's bandwidth-based per-block estimate, used until the observed
+  /// per-block EMA warms up.
+  double EstimatedBacklog(double cost_prior) const {
+    const double ema = ema_block_cost_.load(std::memory_order_relaxed);
+    const double per_block = ema > 0 ? ema : cost_prior;
+    return clock_shared_.load(std::memory_order_relaxed) +
+           pending_.load(std::memory_order_relaxed) * per_block;
+  }
+  void NoteEnqueued() { pending_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteDequeued() { pending_.fetch_sub(1, std::memory_order_relaxed); }
+  void NoteBlockCost(double cost) {
+    const double prev = ema_block_cost_.load(std::memory_order_relaxed);
+    ema_block_cost_.store(prev == 0 ? cost : 0.75 * prev + 0.25 * cost,
+                          std::memory_order_relaxed);
+  }
+
+ private:
+  int id_;
+  sim::DeviceId device_;
+  System* system_;
+  std::unique_ptr<jit::DeviceProvider> provider_;
+  Channel channel_;
+  sim::VTime clock_ = 0;
+  std::atomic<double> clock_shared_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<double> ema_block_cost_{0};
+  sim::CostStats stats_;
+};
+
+/// \brief Router + mem-move runtime between producer pipelines and a set of
+/// consumer instances.
+///
+/// The routing decision moves only the block handle; when a chosen consumer
+/// cannot access a block's memory node, the mem-move half of the edge acquires a
+/// staging block on the consumer-local node and schedules an asynchronous DMA,
+/// attaching the ticket to the message (paper §3.2). Broadcast duplicates data
+/// flow here (one copy per distinct target node, reference-shared within a node);
+/// the router half only routes the resulting (block, target-id) pairs.
+class Edge {
+ public:
+  enum class Policy {
+    kRoundRobin,   ///< strict rotation (deterministic)
+    kLoadBalance,  ///< least virtual-time backlog (default; GPU-local blocks
+                   ///< prefer their local GPU)
+    kHash,         ///< consumer = tag % consumers (requires hash-packed blocks)
+    kBroadcast,    ///< every consumer receives every message
+  };
+
+  struct Options {
+    Policy policy = Policy::kLoadBalance;
+    bool mem_move = true;            ///< insert the mem-move data-flow half
+    double control_cost = 100e-9;    ///< router control-plane cost per message
+    sim::VTime crossing_latency = 0; ///< e.g. gpu2cpu task-spawn latency
+  };
+
+  Edge(System* system, Options options, std::vector<WorkerInstance*> consumers);
+
+  /// Registers a producer; the edge closes consumer channels once every producer
+  /// called CloseProducer().
+  void AddProducer() { producers_.fetch_add(1, std::memory_order_relaxed); }
+  void CloseProducer();
+
+  /// Routes one message. `producer_node` identifies the pushing pipeline's
+  /// memory node (block-manager batching is keyed by it).
+  void Push(DataMsg msg, sim::MemNodeId producer_node);
+
+  int num_consumers() const { return static_cast<int>(consumers_.size()); }
+  WorkerInstance* consumer(int i) { return consumers_.at(i); }
+
+ private:
+  void DeliverTo(WorkerInstance* target, DataMsg msg, sim::MemNodeId producer_node);
+  /// Copies `msg`'s blocks to `target_node`, attaching tickets. Returns the
+  /// rewritten message.
+  DataMsg MoveToNode(DataMsg msg, sim::MemNodeId target_node,
+                     sim::MemNodeId producer_node);
+
+  System* system_;
+  Options options_;
+  std::vector<WorkerInstance*> consumers_;
+  std::atomic<int> producers_{0};
+  std::atomic<uint64_t> rr_next_{0};
+};
+
+/// Releases every block of a message from `holder_node`'s perspective (skipping
+/// foreign, table-resident blocks).
+void ReleaseMsgBlocks(System* system, DataMsg& msg, sim::MemNodeId holder_node);
+
+/// \brief Per-instance pipeline execution logic, provided by the compiler.
+class BlockProcessor {
+ public:
+  virtual ~BlockProcessor() = default;
+  virtual void Init(WorkerInstance& inst) = 0;
+  virtual void ProcessMsg(WorkerInstance& inst, DataMsg& msg) = 0;
+  /// Input exhausted: flush partials / finalize state.
+  virtual void Finish(WorkerInstance& inst) = 0;
+};
+
+using ProcessorFactory =
+    std::function<std::unique_ptr<BlockProcessor>(WorkerInstance&)>;
+
+/// \brief A group of identically-programmed pipeline instances (one per device in
+/// `devices`), each consuming from its own channel.
+class WorkerGroup {
+ public:
+  WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
+              ProcessorFactory factory, Edge* out, size_t channel_capacity,
+              sim::VTime initial_clock);
+
+  void Start();
+  void Join();
+
+  int size() const { return static_cast<int>(instances_.size()); }
+  WorkerInstance& instance(int i) { return *instances_.at(i); }
+  std::vector<WorkerInstance*> instance_ptrs();
+
+  /// Max instance clock after Join(): the group's completion in virtual time.
+  sim::VTime max_end() const { return max_end_; }
+  sim::CostStats total_stats() const;
+
+ private:
+  void RunInstance(WorkerInstance& inst);
+
+  System* system_;
+  ProcessorFactory factory_;
+  Edge* out_;
+  sim::VTime initial_clock_;
+  std::vector<std::unique_ptr<WorkerInstance>> instances_;
+  std::vector<std::thread> threads_;
+  sim::VTime max_end_ = 0;
+};
+
+/// \brief The segmenter: a single lightweight thread that splits a placed table's
+/// chunks into block-sized handles and feeds them to a router edge (paper Fig. 2,
+/// pipeline 6). No data is copied — handles point into table memory.
+class SourceDriver {
+ public:
+  SourceDriver(System* system, const storage::Table* table,
+               std::vector<int> col_indices, uint64_t block_rows, Edge* out,
+               sim::VTime initial_clock, double per_block_cost = 20e-9);
+  ~SourceDriver();
+
+  void Start();
+  void Join();
+
+ private:
+  void Run();
+
+  System* system_;
+  const storage::Table* table_;
+  std::vector<int> col_indices_;
+  uint64_t block_rows_;
+  Edge* out_;
+  sim::VTime clock_;
+  double per_block_cost_;
+  std::deque<memory::Block> foreign_blocks_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+/// Collects final result rows with a virtual-time watermark.
+class ResultSink {
+ public:
+  void AddRow(std::vector<int64_t> row, sim::VTime t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back(std::move(row));
+    done_at_ = sim::MaxT(done_at_, t);
+  }
+
+  std::vector<std::vector<int64_t>> TakeRows() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(rows_);
+  }
+  sim::VTime done_at() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_at_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<int64_t>> rows_;
+  sim::VTime done_at_ = 0;
+};
+
+/// \brief Join hash tables shared between build and probe pipelines, keyed by
+/// (join id, device unit). A "unit" is one CPU socket or one GPU — the replica
+/// granularity of broadcast hash joins.
+class HtRegistry {
+ public:
+  /// Unit key of a device: sockets and GPUs occupy disjoint ranges.
+  static int UnitOf(sim::DeviceId dev) {
+    return dev.is_cpu() ? dev.index : 1000 + dev.index;
+  }
+
+  jit::JoinHashTable* Create(int join_id, sim::DeviceId unit,
+                             memory::MemoryManager* mm, uint64_t capacity,
+                             int payload_width);
+  jit::JoinHashTable* Get(int join_id, sim::DeviceId unit) const;
+
+  void NoteBuildDone(sim::VTime t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    build_done_ = sim::MaxT(build_done_, t);
+  }
+  sim::VTime build_done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return build_done_;
+  }
+
+  uint64_t TotalHtBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<jit::JoinHashTable>> tables_;
+  sim::VTime build_done_ = 0;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_RUNTIME_H_

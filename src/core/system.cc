@@ -1,0 +1,41 @@
+#include "core/system.h"
+
+namespace hetex::core {
+
+System::System(Options options)
+    : topology_(options.topology),
+      memory_(topology_),
+      blocks_(topology_, options.blocks) {
+  dma_ = std::make_unique<sim::DmaEngine>(&topology_);
+  for (int g = 0; g < topology_.num_gpus(); ++g) {
+    gpus_.push_back(
+        std::make_unique<sim::GpuDevice>(topology_.gpu(g), &topology_.cost_model()));
+  }
+}
+
+std::unique_ptr<jit::DeviceProvider> System::MakeProvider(sim::DeviceId device) {
+  if (device.is_cpu()) {
+    return std::make_unique<jit::CpuProvider>(device.index, &topology_, &memory_,
+                                              &blocks_);
+  }
+  return std::make_unique<jit::GpuProvider>(gpus_.at(device.index).get(), &topology_,
+                                            &memory_, &blocks_);
+}
+
+std::vector<sim::MemNodeId> System::HostNodes() const {
+  std::vector<sim::MemNodeId> nodes;
+  for (int s = 0; s < topology_.num_sockets(); ++s) {
+    nodes.push_back(topology_.socket(s).mem);
+  }
+  return nodes;
+}
+
+std::vector<sim::MemNodeId> System::GpuNodes() const {
+  std::vector<sim::MemNodeId> nodes;
+  for (int g = 0; g < topology_.num_gpus(); ++g) {
+    nodes.push_back(topology_.gpu(g).mem);
+  }
+  return nodes;
+}
+
+}  // namespace hetex::core

@@ -1,0 +1,67 @@
+#ifndef HETEX_CORE_SYSTEM_H_
+#define HETEX_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "jit/device_provider.h"
+#include "memory/block_manager.h"
+#include "memory/memory_manager.h"
+#include "sim/dma_engine.h"
+#include "sim/gpu_device.h"
+#include "sim/topology.h"
+#include "storage/table.h"
+
+namespace hetex::core {
+
+/// \brief The running server: simulated topology, devices, transfer engines and
+/// per-node memory infrastructure, plus the table catalog.
+///
+/// One System hosts many queries; block arenas and GPU worker pools are created
+/// once at startup (the paper's "at system initialization time, the block managers
+/// pre-allocate memory arenas").
+class System {
+ public:
+  struct Options {
+    sim::Topology::Options topology;
+    memory::BlockRegistry::Options blocks;
+  };
+
+  explicit System(Options options = {});
+
+  sim::Topology& topology() { return topology_; }
+  const sim::CostModel& cost_model() const { return topology_.cost_model(); }
+  sim::DmaEngine& dma() { return *dma_; }
+  sim::GpuDevice& gpu(int i) { return *gpus_.at(i); }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  memory::MemoryRegistry& memory() { return memory_; }
+  memory::BlockRegistry& blocks() { return blocks_; }
+  storage::Catalog& catalog() { return catalog_; }
+
+  /// Creates a provider for a compute device (see jit::DeviceProvider).
+  std::unique_ptr<jit::DeviceProvider> MakeProvider(sim::DeviceId device);
+
+  /// Rewinds every virtual-time resource (PCIe links, GPU streams) to zero;
+  /// called at the start of each query so queries get independent timelines.
+  void ResetVirtualTime() {
+    topology_.ResetVirtualTime();
+    for (auto& gpu : gpus_) gpu->ResetVirtualTime();
+  }
+
+  /// Host memory nodes (all sockets), the default table placement.
+  std::vector<sim::MemNodeId> HostNodes() const;
+  /// GPU memory nodes (for data_on_gpu placements).
+  std::vector<sim::MemNodeId> GpuNodes() const;
+
+ private:
+  sim::Topology topology_;
+  memory::MemoryRegistry memory_;
+  memory::BlockRegistry blocks_;
+  std::unique_ptr<sim::DmaEngine> dma_;
+  std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
+  storage::Catalog catalog_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_SYSTEM_H_

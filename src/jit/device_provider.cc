@@ -1,0 +1,134 @@
+#include "jit/device_provider.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hetex::jit {
+
+Status DeviceProvider::ConvertToMachineCode(PipelineProgram* program) {
+  // Validate register and jump ranges — the moral equivalent of IR verification
+  // before backend lowering.
+  const int n = static_cast<int>(program->code.size());
+  if (n == 0 || program->code.back().op != OpCode::kEnd) {
+    return Status::Internal("pipeline '" + program->label + "' missing kEnd");
+  }
+  for (const Instr& in : program->code) {
+    switch (in.op) {
+      case OpCode::kJmp:
+        if (in.a < 0 || in.a >= n) return Status::Internal("jump out of range");
+        break;
+      case OpCode::kJmpIfFalse:
+      case OpCode::kJmpIfNeg:
+        if (in.b < 0 || in.b >= n) return Status::Internal("jump out of range");
+        break;
+      default:
+        break;
+    }
+  }
+  if (program->n_regs > kMaxRegs) {
+    return Status::Internal("register pressure exceeds VM register file");
+  }
+  program->finalized = true;
+  return Status::OK();
+}
+
+void* CpuProvider::AllocStateVar(uint64_t bytes) {
+  auto r = mem_->manager(node_).Allocate(bytes);
+  HETEX_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+void CpuProvider::FreeStateVar(void* ptr) { mem_->manager(node_).Free(ptr); }
+
+memory::Block* CpuProvider::GetBuffer() { return blocks_->Acquire(node_, node_); }
+
+void CpuProvider::ReleaseBuffer(memory::Block* block) {
+  blocks_->Release(block, node_);
+}
+
+ExecResult CpuProvider::Execute(const PipelineProgram& program, ExecRequest& req) {
+  ExecCtx ctx;
+  ctx.cols = req.cols;
+  ctx.n_cols = req.n_cols;
+  ctx.emit = req.emit;
+  ctx.emit_targets = req.emit_targets;
+  ctx.n_emit_targets = req.n_emit_targets;
+  ctx.local_accs = req.instance_accs;
+  ctx.ht_slots = req.ht_slots;
+  ctx.atomic_group_update = false;  // single thread per worker: atomics elided
+  ExecResult result;
+  ctx.stats = &result.stats;
+  ctx.row_begin = 0;   // threadIdInWorker -> 0
+  ctx.row_step = 1;    // #threadsInWorker -> 1
+
+  RunRows(program, ctx, req.rows);
+
+  const sim::CostModel& cm = topo_->cost_model();
+  // Fluid share of the socket's DRAM bandwidth across this query's workers.
+  const double bw = std::min(cm.cpu_core_bw,
+                             cm.cpu_socket_bw / socket_concurrency_);
+  result.end = req.earliest + cm.WorkCost(result.stats, cm.cpu, bw);
+  return result;
+}
+
+void* GpuProvider::AllocStateVar(uint64_t bytes) {
+  auto r = mem_->manager(node_).Allocate(bytes);
+  HETEX_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+void GpuProvider::FreeStateVar(void* ptr) { mem_->manager(node_).Free(ptr); }
+
+memory::Block* GpuProvider::GetBuffer() { return blocks_->Acquire(node_, node_); }
+
+void GpuProvider::ReleaseBuffer(memory::Block* block) {
+  blocks_->Release(block, node_);
+}
+
+ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req) {
+  if (req.emit != nullptr) {
+    HETEX_CHECK(req.emit->atomic_append)
+        << "GPU pipelines append to output blocks with device atomics";
+  }
+  auto kernel = [&](const sim::KernelCtx& kctx) {
+    ExecCtx ctx;
+    ctx.cols = req.cols;
+    ctx.n_cols = req.n_cols;
+    ctx.emit = req.emit;
+    ctx.emit_targets = req.emit_targets;
+    ctx.n_emit_targets = req.n_emit_targets;
+    ctx.ht_slots = req.ht_slots;
+    ctx.atomic_group_update = true;  // workerScopedAtomic -> device atomic
+    ctx.stats = kctx.stats;
+    ctx.row_begin = static_cast<uint64_t>(kctx.thread_id);   // threadIdInWorker
+    ctx.row_step = static_cast<uint64_t>(kctx.num_threads);  // #threadsInWorker
+
+    int64_t local_accs[kMaxLocalAccs];
+    for (int i = 0; i < program.n_local_accs; ++i) {
+      local_accs[i] = AggIdentity(program.local_acc_funcs[i]);
+    }
+    ctx.local_accs = local_accs;
+
+    RunRows(program, ctx, req.rows);
+
+    if (program.n_local_accs > 0) {
+      HETEX_CHECK(req.shared_accs != nullptr)
+          << "GPU pipeline with accumulators needs device-resident state";
+      // Neighborhood (thread-block) reduction: every thread folds its value, only
+      // the leader's atomic is charged — the Fig. 3 cost profile.
+      FlushLocalAccsAtomic(program, local_accs, req.shared_accs,
+                           /*count_atomic_cost=*/kctx.lane == 0, kctx.stats);
+    }
+  };
+
+  auto launch = gpu_->LaunchKernel(kernel, gpu_->default_grid(),
+                                   sim::GpuDevice::kDefaultBlockDim, req.earliest,
+                                   stream_bw_);
+  ExecResult result;
+  result.stats = launch.stats;
+  result.end = launch.end;
+  return result;
+}
+
+}  // namespace hetex::jit

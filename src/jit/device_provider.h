@@ -1,0 +1,174 @@
+#ifndef HETEX_JIT_DEVICE_PROVIDER_H_
+#define HETEX_JIT_DEVICE_PROVIDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "jit/exec_ctx.h"
+#include "jit/interpreter.h"
+#include "jit/program.h"
+#include "memory/block_manager.h"
+#include "memory/memory_manager.h"
+#include "sim/gpu_device.h"
+#include "sim/topology.h"
+
+namespace hetex::jit {
+
+/// \brief One pipeline execution request: a block of rows to push through a
+/// compiled program, together with the pipeline's bound state.
+struct ExecRequest {
+  const ColumnBinding* cols = nullptr;
+  int n_cols = 0;
+  uint64_t rows = 0;
+  EmitTarget* emit = nullptr;
+  EmitTarget** emit_targets = nullptr;  ///< hash-pack buckets (optional)
+  int n_emit_targets = 0;
+  void** ht_slots = nullptr;
+  int64_t* instance_accs = nullptr;            ///< CPU: instance-persistent accumulators
+  std::atomic<int64_t>* shared_accs = nullptr; ///< GPU: device-resident accumulators
+  sim::VTime earliest = 0;                     ///< input availability (virtual time)
+};
+
+/// Result of executing one block through a pipeline.
+struct ExecResult {
+  sim::VTime end = 0;      ///< modeled completion time
+  sim::CostStats stats;    ///< work performed
+};
+
+/// \brief Device provider: the device-independent utility interface of the
+/// paper's Table 1.
+///
+/// Every operator's produce()/consume() is written once against this interface;
+/// the device-crossing operators decide which provider each pipeline is
+/// instantiated with, and that choice alone specializes the generated pipeline to
+/// a CPU worker or a GPU kernel (paper §4.1, Fig. 3).
+///
+/// Table 1 mapping:
+///  - allocStateVar/freeStateVar        -> AllocStateVar / FreeStateVar
+///  - load/storeStateVar                -> pipeline state slots bound via ExecRequest
+///  - get/releaseBuffer, malloc/free    -> GetBuffer / ReleaseBuffer (block arena)
+///  - #threadsInWorker, threadIdInWorker-> WorkerThreads() and the grid-stride
+///                                         bounds installed into each ExecCtx
+///  - workerScopedAtomic<T, Op>         -> atomic accumulation / HT CAS enabled
+///                                         (GPU) or elided (CPU single thread)
+///  - convertToMachineCode/loadMachineCode -> ConvertToMachineCode (finalize +
+///                                         validate; our VM "machine code")
+class DeviceProvider {
+ public:
+  virtual ~DeviceProvider() = default;
+
+  virtual sim::DeviceType type() const = 0;
+  virtual sim::DeviceId device() const = 0;
+  virtual sim::MemNodeId mem_node() const = 0;
+
+  /// Number of concurrent worker threads inside one pipeline execution: 1 for a
+  /// CPU worker, the kernel grid size for a GPU. The CPU provider's answer lets
+  /// codegen elide neighborhood reductions and worker-scoped atomics (Fig. 3).
+  virtual int WorkerThreads() const = 0;
+
+  /// Allocates pipeline state (hash tables, accumulators) on the local node.
+  virtual void* AllocStateVar(uint64_t bytes) = 0;
+  virtual void FreeStateVar(void* ptr) = 0;
+
+  /// Acquires/releases a staging block from the local block arena.
+  virtual memory::Block* GetBuffer() = 0;
+  virtual void ReleaseBuffer(memory::Block* block) = 0;
+
+  /// Finalizes ("compiles") a generated program for this device: validates the
+  /// code and marks it executable. Mirrors IR optimization + backend lowering.
+  virtual Status ConvertToMachineCode(PipelineProgram* program);
+
+  /// Executes one block through a finalized program, advancing virtual time.
+  virtual ExecResult Execute(const PipelineProgram& program, ExecRequest& req) = 0;
+
+  /// The memory manager backing AllocStateVar.
+  virtual memory::MemoryManager& memory_manager() = 0;
+};
+
+/// CPU provider: single-threaded worker pinned to one socket; streaming bandwidth
+/// comes from the socket's fluid share.
+class CpuProvider : public DeviceProvider {
+ public:
+  CpuProvider(int socket, sim::Topology* topo, memory::MemoryRegistry* mem,
+              memory::BlockRegistry* blocks)
+      : socket_(socket),
+        topo_(topo),
+        mem_(mem),
+        blocks_(blocks),
+        node_(topo->socket(socket).mem) {}
+
+  sim::DeviceType type() const override { return sim::DeviceType::kCpu; }
+  sim::DeviceId device() const override { return sim::DeviceId::Cpu(socket_); }
+  sim::MemNodeId mem_node() const override { return node_; }
+  int WorkerThreads() const override { return 1; }
+
+  void* AllocStateVar(uint64_t bytes) override;
+  void FreeStateVar(void* ptr) override;
+  memory::Block* GetBuffer() override;
+  void ReleaseBuffer(memory::Block* block) override;
+  ExecResult Execute(const PipelineProgram& program, ExecRequest& req) override;
+  memory::MemoryManager& memory_manager() override { return mem_->manager(node_); }
+
+  int socket() const { return socket_; }
+
+  /// Number of workers configured on this socket for the running query: the
+  /// deterministic fluid-share divisor (all workers are concurrently active in
+  /// virtual time during the streaming phase).
+  void set_socket_concurrency(int n) { socket_concurrency_ = n < 1 ? 1 : n; }
+  int socket_concurrency() const { return socket_concurrency_; }
+
+ private:
+  int socket_;
+  int socket_concurrency_ = 1;
+  sim::Topology* topo_;
+  memory::MemoryRegistry* mem_;
+  memory::BlockRegistry* blocks_;
+  sim::MemNodeId node_;
+};
+
+/// GPU provider: pipelines execute as kernels over a logical thread grid with
+/// device atomics; state and buffers live in the GPU's device memory.
+class GpuProvider : public DeviceProvider {
+ public:
+  GpuProvider(sim::GpuDevice* gpu, sim::Topology* topo, memory::MemoryRegistry* mem,
+              memory::BlockRegistry* blocks)
+      : gpu_(gpu),
+        topo_(topo),
+        mem_(mem),
+        blocks_(blocks),
+        node_(gpu->mem_node()) {}
+
+  sim::DeviceType type() const override { return sim::DeviceType::kGpu; }
+  sim::DeviceId device() const override { return sim::DeviceId::Gpu(gpu_->id()); }
+  sim::MemNodeId mem_node() const override { return node_; }
+  int WorkerThreads() const override { return gpu_->default_grid(); }
+
+  void* AllocStateVar(uint64_t bytes) override;
+  void FreeStateVar(void* ptr) override;
+  memory::Block* GetBuffer() override;
+  void ReleaseBuffer(memory::Block* block) override;
+  ExecResult Execute(const PipelineProgram& program, ExecRequest& req) override;
+  memory::MemoryManager& memory_manager() override { return mem_->manager(node_); }
+
+  sim::GpuDevice* gpu() const { return gpu_; }
+
+  /// Effective streaming bandwidth for kernels launched by this provider.
+  /// Lowered for UVA/zero-copy execution (reads cross PCIe) or register-pressure
+  /// limited occupancy (the DBMS G emulation).
+  void set_stream_bw(double bw) { stream_bw_ = bw; }
+  double stream_bw() const { return stream_bw_; }
+
+ private:
+  sim::GpuDevice* gpu_;
+  sim::Topology* topo_;
+  memory::MemoryRegistry* mem_;
+  memory::BlockRegistry* blocks_;
+  sim::MemNodeId node_;
+  double stream_bw_ = 0.0;  ///< 0 = full device bandwidth
+};
+
+}  // namespace hetex::jit
+
+#endif  // HETEX_JIT_DEVICE_PROVIDER_H_

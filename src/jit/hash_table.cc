@@ -1,0 +1,119 @@
+#include "jit/hash_table.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hetex::jit {
+
+namespace {
+uint64_t NextPow2(uint64_t v) {
+  if (v < 2) return 2;
+  return std::bit_ceil(v);
+}
+}  // namespace
+
+JoinHashTable::JoinHashTable(memory::MemoryManager* mm, uint64_t capacity,
+                             int payload_width)
+    : mm_(mm),
+      capacity_(capacity == 0 ? 1 : capacity),
+      payload_width_(payload_width),
+      stride_(2 + static_cast<uint64_t>(payload_width)) {
+  const uint64_t buckets = NextPow2(capacity_ * 2);
+  bucket_mask_ = buckets - 1;
+  const uint64_t head_bytes = buckets * sizeof(std::atomic<int64_t>);
+  const uint64_t entry_bytes = capacity_ * stride_ * sizeof(int64_t);
+  bytes_ = head_bytes + entry_bytes;
+  auto alloc = mm_->Allocate(bytes_);
+  HETEX_CHECK(alloc.ok()) << "join hash table allocation: "
+                          << alloc.status().ToString();
+  raw_ = alloc.value();
+  heads_ = static_cast<std::atomic<int64_t>*>(raw_);
+  for (uint64_t i = 0; i < buckets; ++i) {
+    heads_[i].store(-1, std::memory_order_relaxed);
+  }
+  entries_ = reinterpret_cast<int64_t*>(static_cast<std::byte*>(raw_) + head_bytes);
+}
+
+JoinHashTable::~JoinHashTable() { mm_->Free(raw_); }
+
+void JoinHashTable::Insert(int64_t key, const int64_t* payload) {
+  const uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  HETEX_CHECK(idx < capacity_) << "join hash table over capacity (" << capacity_
+                               << ")";
+  int64_t* e = EntryAt(static_cast<int64_t>(idx));
+  e[0] = key;
+  for (int i = 0; i < payload_width_; ++i) e[2 + i] = payload[i];
+  const uint64_t b = HashMix64(static_cast<uint64_t>(key)) & bucket_mask_;
+  int64_t head = heads_[b].load(std::memory_order_relaxed);
+  do {
+    e[1] = head;
+  } while (!heads_[b].compare_exchange_weak(head, static_cast<int64_t>(idx),
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+}
+
+AggHashTable::AggHashTable(memory::MemoryManager* mm, uint64_t capacity, int n_aggs,
+                           const AggFunc* funcs)
+    : mm_(mm), n_aggs_(n_aggs) {
+  HETEX_CHECK(n_aggs >= 1 && n_aggs <= 8);
+  slots_ = NextPow2((capacity == 0 ? 1 : capacity) * 2);
+  slot_mask_ = slots_ - 1;
+  for (int i = 0; i < n_aggs; ++i) funcs_[i] = funcs[i];
+
+  const uint64_t key_bytes = slots_ * sizeof(std::atomic<int64_t>);
+  const uint64_t acc_bytes = slots_ * n_aggs_ * sizeof(int64_t);
+  bytes_ = key_bytes + acc_bytes;
+  auto keys_alloc = mm_->Allocate(key_bytes);
+  HETEX_CHECK(keys_alloc.ok()) << keys_alloc.status().ToString();
+  raw_keys_ = keys_alloc.value();
+  auto accs_alloc = mm_->Allocate(acc_bytes);
+  HETEX_CHECK(accs_alloc.ok()) << accs_alloc.status().ToString();
+  raw_accs_ = accs_alloc.value();
+
+  keys_ = static_cast<std::atomic<int64_t>*>(raw_keys_);
+  accs_ = static_cast<int64_t*>(raw_accs_);
+  for (uint64_t i = 0; i < slots_; ++i) {
+    keys_[i].store(kEmpty, std::memory_order_relaxed);
+    for (int a = 0; a < n_aggs_; ++a) {
+      accs_[i * n_aggs_ + a] = AggIdentity(funcs_[a]);
+    }
+  }
+}
+
+AggHashTable::~AggHashTable() {
+  mm_->Free(raw_keys_);
+  mm_->Free(raw_accs_);
+}
+
+void AggHashTable::Update(int64_t key, const int64_t* vals, bool atomic,
+                          uint64_t* probes) {
+  HETEX_CHECK(key != kEmpty) << "reserved group key";
+  uint64_t slot = HashMix64(static_cast<uint64_t>(key)) & slot_mask_;
+  while (true) {
+    ++*probes;
+    int64_t cur = keys_[slot].load(std::memory_order_acquire);
+    if (cur == key) break;
+    if (cur == kEmpty) {
+      int64_t expected = kEmpty;
+      if (keys_[slot].compare_exchange_strong(expected, key,
+                                              std::memory_order_acq_rel)) {
+        const uint64_t n = used_.fetch_add(1, std::memory_order_relaxed) + 1;
+        HETEX_CHECK(n * 2 <= slots_) << "agg hash table over capacity";
+        break;
+      }
+      if (expected == key) break;  // lost the race to the same key
+    }
+    slot = (slot + 1) & slot_mask_;
+  }
+  int64_t* acc = accs_ + slot * n_aggs_;
+  if (atomic) {
+    auto* atomic_acc = reinterpret_cast<std::atomic<int64_t>*>(acc);
+    for (int a = 0; a < n_aggs_; ++a) AggApplyAtomic(funcs_[a], atomic_acc + a, vals[a]);
+  } else {
+    for (int a = 0; a < n_aggs_; ++a) AggApply(funcs_[a], acc + a, vals[a]);
+  }
+}
+
+}  // namespace hetex::jit

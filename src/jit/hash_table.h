@@ -1,0 +1,181 @@
+#ifndef HETEX_JIT_HASH_TABLE_H_
+#define HETEX_JIT_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "memory/memory_manager.h"
+
+namespace hetex::jit {
+
+/// Aggregation functions supported by generated pipelines.
+enum class AggFunc : uint8_t { kSum, kCount, kMin, kMax };
+
+/// Applies an aggregation function to an accumulator (non-atomic flavor).
+inline void AggApply(AggFunc f, int64_t* acc, int64_t v) {
+  switch (f) {
+    case AggFunc::kSum: *acc += v; break;
+    case AggFunc::kCount: *acc += 1; break;
+    case AggFunc::kMin: if (v < *acc) *acc = v; break;
+    case AggFunc::kMax: if (v > *acc) *acc = v; break;
+  }
+}
+
+/// Atomic flavor, used by GPU kernels (worker-scoped atomics, Table 1).
+inline void AggApplyAtomic(AggFunc f, std::atomic<int64_t>* acc, int64_t v) {
+  switch (f) {
+    case AggFunc::kSum: acc->fetch_add(v, std::memory_order_relaxed); break;
+    case AggFunc::kCount: acc->fetch_add(1, std::memory_order_relaxed); break;
+    case AggFunc::kMin: {
+      int64_t cur = acc->load(std::memory_order_relaxed);
+      while (v < cur && !acc->compare_exchange_weak(cur, v)) {
+      }
+      break;
+    }
+    case AggFunc::kMax: {
+      int64_t cur = acc->load(std::memory_order_relaxed);
+      while (v > cur && !acc->compare_exchange_weak(cur, v)) {
+      }
+      break;
+    }
+  }
+}
+
+/// Identity element of an aggregation function.
+inline int64_t AggIdentity(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+    case AggFunc::kCount: return 0;
+    case AggFunc::kMin: return INT64_MAX;
+    case AggFunc::kMax: return INT64_MIN;
+  }
+  return 0;
+}
+
+/// \brief Chained hash table for joins: int64 key -> fixed-width int64 payload.
+///
+/// Build is lock-free (atomic CAS on bucket heads, atomic bump allocation of
+/// entries) so the same structure serves CPU task-parallel builds and simulated
+/// GPU kernels — generated code only differs in which provider supplied the
+/// atomics, exactly as in the paper's Fig. 3. Probing is wait-free.
+class JoinHashTable {
+ public:
+  /// \param capacity maximum number of entries (known from table stats at plan
+  ///        time; the prototype does not rehash, matching typical codegen engines)
+  /// \param payload_width int64 payload values carried per entry
+  JoinHashTable(memory::MemoryManager* mm, uint64_t capacity, int payload_width);
+  ~JoinHashTable();
+
+  JoinHashTable(const JoinHashTable&) = delete;
+  JoinHashTable& operator=(const JoinHashTable&) = delete;
+
+  /// Inserts key + payload; thread-safe.
+  void Insert(int64_t key, const int64_t* payload);
+
+  /// Returns the first entry index of the chain for `key`'s bucket (-1 if empty).
+  int64_t ProbeHead(int64_t key) const {
+    const uint64_t b = HashMix64(static_cast<uint64_t>(key)) & bucket_mask_;
+    return heads_[b].load(std::memory_order_acquire);
+  }
+
+  /// Follows the chain from `entry` to the first entry with key == `key`
+  /// (including `entry` itself); returns -1 when exhausted. `hops` counts chain
+  /// links traversed (cost accounting).
+  int64_t FindKeyFrom(int64_t entry, int64_t key, uint64_t* hops) const {
+    while (entry >= 0) {
+      const int64_t* e = EntryAt(entry);
+      ++*hops;
+      if (e[0] == key) return entry;
+      entry = e[1];
+    }
+    return entry;
+  }
+
+  /// Next chain entry after `entry`.
+  int64_t NextEntry(int64_t entry) const { return EntryAt(entry)[1]; }
+
+  const int64_t* PayloadOf(int64_t entry) const { return EntryAt(entry) + 2; }
+
+  uint64_t size() const { return cursor_.load(std::memory_order_relaxed); }
+  uint64_t capacity() const { return capacity_; }
+  int payload_width() const { return payload_width_; }
+
+  /// Total footprint in bytes — drives the random-access size class in the cost
+  /// model (cache-resident dimension tables probe fast; DRAM-sized ones do not).
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  const int64_t* EntryAt(int64_t i) const {
+    return entries_ + static_cast<uint64_t>(i) * stride_;
+  }
+  int64_t* EntryAt(int64_t i) {
+    return entries_ + static_cast<uint64_t>(i) * stride_;
+  }
+
+  memory::MemoryManager* mm_;
+  uint64_t capacity_;
+  int payload_width_;
+  uint64_t stride_;       ///< int64 slots per entry: key, next, payload...
+  uint64_t bucket_mask_;
+  uint64_t bytes_ = 0;
+  std::atomic<int64_t>* heads_ = nullptr;
+  int64_t* entries_ = nullptr;
+  std::atomic<uint64_t> cursor_{0};
+  void* raw_ = nullptr;
+};
+
+/// \brief Open-addressing aggregation hash table: int64 key -> N accumulators.
+///
+/// Supports both a non-atomic mode (one table per CPU pipeline instance; the CPU
+/// provider elides atomics since #threadsInWorker == 1) and an atomic mode (one
+/// table per GPU shared by all kernel threads).
+class AggHashTable {
+ public:
+  AggHashTable(memory::MemoryManager* mm, uint64_t capacity, int n_aggs,
+               const AggFunc* funcs);
+  ~AggHashTable();
+
+  AggHashTable(const AggHashTable&) = delete;
+  AggHashTable& operator=(const AggHashTable&) = delete;
+
+  /// Finds or creates the group for `key` and folds `vals` in.
+  /// \param probes incremented once per slot inspected (cost accounting)
+  void Update(int64_t key, const int64_t* vals, bool atomic, uint64_t* probes);
+
+  /// Number of occupied groups.
+  uint64_t size() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_; }
+  int n_aggs() const { return n_aggs_; }
+
+  /// Iteration over groups for the pipeline-breaker flush.
+  /// Visits each group as (key, accumulator array).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t i = 0; i < slots_; ++i) {
+      const int64_t key = keys_[i].load(std::memory_order_relaxed);
+      if (key != kEmpty) fn(key, accs_ + i * n_aggs_);
+    }
+  }
+
+  static constexpr int64_t kEmpty = INT64_MIN;
+
+ private:
+  memory::MemoryManager* mm_;
+  uint64_t slots_;
+  uint64_t slot_mask_;
+  int n_aggs_;
+  AggFunc funcs_[8];
+  uint64_t bytes_ = 0;
+  std::atomic<int64_t>* keys_ = nullptr;
+  int64_t* accs_ = nullptr;  ///< also aliased as std::atomic<int64_t> in atomic mode
+  std::atomic<uint64_t> used_{0};
+  void* raw_keys_ = nullptr;
+  void* raw_accs_ = nullptr;
+};
+
+}  // namespace hetex::jit
+
+#endif  // HETEX_JIT_HASH_TABLE_H_

@@ -1,0 +1,139 @@
+#include "memory/block_manager.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace hetex::memory {
+
+BlockManager::BlockManager(sim::MemNodeId node, uint64_t block_bytes,
+                           size_t arena_blocks)
+    : node_(node), block_bytes_(block_bytes) {
+  HETEX_CHECK(block_bytes > 0 && arena_blocks > 0);
+  const size_t arena_bytes = block_bytes * arena_blocks;
+  arena_ = static_cast<std::byte*>(std::aligned_alloc(64, arena_bytes));
+  HETEX_CHECK(arena_ != nullptr) << "arena allocation failed for node " << node;
+  blocks_.reserve(arena_blocks);
+  free_list_.reserve(arena_blocks);
+  for (size_t i = 0; i < arena_blocks; ++i) {
+    auto block = std::make_unique<Block>();
+    block->data = arena_ + i * block_bytes;
+    block->capacity = block_bytes;
+    block->node = node;
+    block->owner = this;
+    free_list_.push_back(block.get());
+    blocks_.push_back(std::move(block));
+  }
+}
+
+BlockManager::~BlockManager() { std::free(arena_); }
+
+Block* BlockManager::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_list_.empty()) return nullptr;
+  Block* block = free_list_.back();
+  free_list_.pop_back();
+  block->refs.store(1, std::memory_order_relaxed);
+  return block;
+}
+
+size_t BlockManager::AcquireBatch(Block** out, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t got = 0;
+  while (got < n && !free_list_.empty()) {
+    Block* block = free_list_.back();
+    free_list_.pop_back();
+    block->refs.store(1, std::memory_order_relaxed);
+    out[got++] = block;
+  }
+  return got;
+}
+
+void BlockManager::Release(Block* block) {
+  HETEX_CHECK(block->owner == this) << "block released to wrong manager";
+  if (block->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_list_.push_back(block);
+  }
+}
+
+size_t BlockManager::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_.size();
+}
+
+BlockRegistry::BlockRegistry(const sim::Topology& topo, const Options& options)
+    : options_(options),
+      caches_(static_cast<size_t>(topo.num_mem_nodes()) * topo.num_mem_nodes()) {
+  managers_.reserve(topo.num_mem_nodes());
+  for (int n = 0; n < topo.num_mem_nodes(); ++n) {
+    const bool is_gpu = topo.mem_node(n).is_gpu;
+    managers_.push_back(std::make_unique<BlockManager>(
+        n, options.block_bytes,
+        is_gpu ? options.gpu_arena_blocks : options.host_arena_blocks));
+  }
+}
+
+Block* BlockRegistry::Acquire(sim::MemNodeId target, sim::MemNodeId requester) {
+  if (target == requester) {
+    Block* block = manager(target).Acquire();
+    HETEX_CHECK(block != nullptr) << "block arena exhausted on node " << target;
+    return block;
+  }
+  RemoteCache& rc = cache(requester, target);
+  std::lock_guard<std::mutex> lock(rc.mu);
+  if (rc.acquired.empty()) {
+    // One "small task to the remote node" fetches a whole batch (§4.3).
+    rc.acquired.resize(options_.remote_batch);
+    const size_t got =
+        manager(target).AcquireBatch(rc.acquired.data(), options_.remote_batch);
+    rc.acquired.resize(got);
+    remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    HETEX_CHECK(got > 0) << "block arena exhausted on remote node " << target;
+  }
+  Block* block = rc.acquired.back();
+  rc.acquired.pop_back();
+  return block;
+}
+
+void BlockRegistry::Release(Block* block, sim::MemNodeId requester) {
+  if (block->node == requester) {
+    block->owner->Release(block);
+    return;
+  }
+  // Only the final reference needs the (batched) remote round-trip.
+  if (block->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  block->refs.store(1, std::memory_order_relaxed);  // hand the last ref to the batch
+  RemoteCache& rc = cache(requester, block->node);
+  std::vector<Block*> to_flush;
+  {
+    std::lock_guard<std::mutex> lock(rc.mu);
+    rc.released.push_back(block);
+    if (rc.released.size() >= options_.remote_batch) {
+      to_flush.swap(rc.released);
+    }
+  }
+  if (!to_flush.empty()) {
+    remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    for (Block* b : to_flush) b->owner->Release(b);
+  }
+}
+
+void BlockRegistry::FlushReleases() {
+  for (auto& rc : caches_) {
+    std::vector<Block*> to_flush;
+    std::vector<Block*> to_return;
+    {
+      std::lock_guard<std::mutex> lock(rc.mu);
+      to_flush.swap(rc.released);
+      to_return.swap(rc.acquired);
+    }
+    if (!to_flush.empty() || !to_return.empty()) {
+      remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (Block* b : to_flush) b->owner->Release(b);
+    for (Block* b : to_return) b->owner->Release(b);
+  }
+}
+
+}  // namespace hetex::memory

@@ -1,0 +1,114 @@
+#ifndef HETEX_MEMORY_BLOCK_MANAGER_H_
+#define HETEX_MEMORY_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "memory/block.h"
+#include "sim/topology.h"
+
+namespace hetex::memory {
+
+/// \brief Arena of pre-allocated staging blocks for one memory node.
+///
+/// Per the paper (§4.3): block arenas are pre-allocated at system initialization to
+/// avoid allocation cost at query time, and only device-local callers synchronize
+/// on a node's free list (there is no global cache coherence to rely on). Remote
+/// callers must go through BlockRegistry, which batches remote acquisitions.
+class BlockManager {
+ public:
+  BlockManager(sim::MemNodeId node, uint64_t block_bytes, size_t arena_blocks);
+  ~BlockManager();
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
+
+  /// Acquires a block from the local arena; nullptr when the arena is exhausted.
+  /// The returned block has one reference.
+  Block* Acquire();
+
+  /// Acquires up to `n` blocks at once (remote batch path). Returns count acquired.
+  size_t AcquireBatch(Block** out, size_t n);
+
+  /// Drops one reference; the block returns to the arena at zero.
+  void Release(Block* block);
+
+  /// Adds a reference for multicast sharing.
+  static void AddRef(Block* block) {
+    block->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  sim::MemNodeId node() const { return node_; }
+  uint64_t block_bytes() const { return block_bytes_; }
+  size_t arena_blocks() const { return blocks_.size(); }
+  size_t free_blocks() const;
+  size_t in_use() const { return arena_blocks() - free_blocks(); }
+
+ private:
+  const sim::MemNodeId node_;
+  const uint64_t block_bytes_;
+  std::byte* arena_ = nullptr;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  mutable std::mutex mu_;  // device-local synchronization only
+  std::vector<Block*> free_list_;
+};
+
+/// \brief All block managers of the server plus the remote-acquisition machinery.
+///
+/// Acquiring a block on a *remote* node (e.g. a CPU mem-move producer grabbing a
+/// staging block in GPU memory for a DMA target) is served from a per
+/// (requester-node, target-node) cache refilled in batches, and releases of remote
+/// blocks are batched back — the two §4.3 optimizations that make the absence of
+/// cross-device coherence affordable.
+class BlockRegistry {
+ public:
+  struct Options {
+    uint64_t block_bytes = 1ull << 20;   ///< 1 MiB blocks
+    size_t host_arena_blocks = 512;      ///< per host node
+    size_t gpu_arena_blocks = 256;       ///< per GPU node
+    size_t remote_batch = 8;             ///< blocks fetched per remote round-trip
+  };
+
+  BlockRegistry(const sim::Topology& topo, const Options& options);
+
+  BlockManager& manager(sim::MemNodeId node) { return *managers_.at(node); }
+  const Options& options() const { return options_; }
+
+  /// Acquires a block on `target` for a caller local to `requester`.
+  /// Local requests hit the arena directly; remote requests go through the cache.
+  Block* Acquire(sim::MemNodeId target, sim::MemNodeId requester);
+
+  /// Releases a block from a caller local to `requester`; remote releases are
+  /// buffered and flushed in batches.
+  void Release(Block* block, sim::MemNodeId requester);
+
+  /// Flushes all buffered remote releases (e.g. at query end).
+  void FlushReleases();
+
+  /// Number of remote batch round-trips performed (for tests/ablation).
+  uint64_t remote_roundtrips() const { return remote_roundtrips_; }
+
+ private:
+  struct RemoteCache {
+    std::mutex mu;
+    std::vector<Block*> acquired;  ///< ready-to-hand-out blocks on the target node
+    std::vector<Block*> released;  ///< pending batched releases
+  };
+
+  RemoteCache& cache(sim::MemNodeId requester, sim::MemNodeId target) {
+    return caches_[static_cast<size_t>(requester) * managers_.size() +
+                   static_cast<size_t>(target)];
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<BlockManager>> managers_;
+  std::vector<RemoteCache> caches_;  ///< indexed [requester * nodes + target]
+  std::atomic<uint64_t> remote_roundtrips_{0};
+};
+
+}  // namespace hetex::memory
+
+#endif  // HETEX_MEMORY_BLOCK_MANAGER_H_

@@ -1,0 +1,359 @@
+#include "plan/het_plan.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hetex::plan {
+
+ExprPtr CombineGroupKeys(const std::vector<ExprPtr>& keys) {
+  HETEX_CHECK(!keys.empty());
+  HETEX_CHECK(keys.size() * kGroupKeyBits <= 63) << "too many group-by keys";
+  ExprPtr combined = keys[0];
+  for (size_t i = 1; i < keys.size(); ++i) {
+    combined = Add(Shl(combined, kGroupKeyBits), keys[i]);
+  }
+  return combined;
+}
+
+Layout ComputeLayout(const ExecPolicy& policy, const sim::Topology& topo) {
+  Layout layout;
+  layout.routers_present = policy.use_hetexchange;
+
+  std::vector<int> gpus = policy.gpus;
+  if (gpus.empty()) {
+    for (int g = 0; g < topo.num_gpus(); ++g) gpus.push_back(g);
+  }
+  int cpu_workers = policy.cpu_workers < 0 ? topo.num_cores() : policy.cpu_workers;
+
+  const bool want_cpu = policy.mode != ExecPolicy::Mode::kGpuOnly;
+  const bool want_gpu = policy.mode != ExecPolicy::Mode::kCpuOnly;
+
+  if (!policy.use_hetexchange) {
+    // Bare Proteus: exactly one compute unit, no parallelization operators.
+    if (want_gpu && !gpus.empty()) {
+      layout.probe_instances.push_back(sim::DeviceId::Gpu(gpus[0]));
+    } else {
+      layout.probe_instances.push_back(sim::DeviceId::Cpu(0));
+    }
+  } else {
+    if (want_cpu) {
+      for (int w = 0; w < cpu_workers; ++w) {
+        layout.probe_instances.push_back(sim::DeviceId::Cpu(topo.SocketOfCore(w)));
+      }
+    }
+    if (want_gpu) {
+      for (int g : gpus) {
+        HETEX_CHECK(g >= 0 && g < topo.num_gpus()) << "no such GPU " << g;
+        layout.probe_instances.push_back(sim::DeviceId::Gpu(g));
+      }
+    }
+  }
+  HETEX_CHECK(!layout.probe_instances.empty()) << "policy selects no compute units";
+
+  // Build units: unique sockets + unique GPUs among the probe instances.
+  std::unordered_set<int> sockets;
+  std::unordered_set<int> unit_gpus;
+  for (const auto& dev : layout.probe_instances) {
+    if (dev.is_cpu()) {
+      layout.has_cpu = true;
+      if (sockets.insert(dev.index).second) {
+        layout.build_units.push_back(dev);
+      }
+    } else {
+      layout.has_gpu = true;
+      if (unit_gpus.insert(dev.index).second) {
+        layout.build_units.push_back(dev);
+      }
+    }
+  }
+  // GPU-only plans still need a host socket to drive gather (and builds stream
+  // through the GPU itself).
+  layout.gather_socket = layout.has_cpu ? layout.probe_instances[0].index
+                                        : topo.HostSocketOf(layout.probe_instances[0]);
+  return layout;
+}
+
+const char* HetOpNode::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kSegmenter: return "segmenter";
+    case Kind::kRouter: return "router";
+    case Kind::kMemMove: return "mem-move";
+    case Kind::kCpu2Gpu: return "cpu2gpu";
+    case Kind::kGpu2Cpu: return "gpu2cpu";
+    case Kind::kPack: return "pack";
+    case Kind::kHashPack: return "hash-pack";
+    case Kind::kUnpack: return "unpack";
+    case Kind::kFilter: return "filter";
+    case Kind::kProject: return "project";
+    case Kind::kJoinBuild: return "hashjoin-build";
+    case Kind::kJoinProbe: return "hashjoin-probe";
+    case Kind::kReduceLocal: return "reduce(local)";
+    case Kind::kGroupByLocal: return "groupby(local)";
+    case Kind::kGather: return "gather";
+    case Kind::kResult: return "result";
+  }
+  return "?";
+}
+
+namespace {
+
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(HetPlan* plan) : plan_(plan) {}
+
+  int Add(HetOpNode::Kind kind, sim::DeviceType device, std::string detail,
+          std::vector<int> children, int dop = 1) {
+    HetOpNode node;
+    node.kind = kind;
+    node.device = device;
+    node.detail = std::move(detail);
+    node.children = std::move(children);
+    node.dop = dop;
+    plan_->nodes.push_back(std::move(node));
+    return static_cast<int>(plan_->nodes.size()) - 1;
+  }
+
+ private:
+  HetPlan* plan_;
+};
+
+void PrintNode(const HetPlan& plan, int id, int depth,
+               std::unordered_set<int>* seen, std::ostringstream& os) {
+  const HetOpNode& n = plan.node(id);
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << HetOpNode::KindName(n.kind) << " [" << (n.device == sim::DeviceType::kCpu
+                                                    ? "cpu"
+                                                    : "gpu");
+  if (n.dop != 1) os << " x" << n.dop;
+  os << "]";
+  if (!n.detail.empty()) os << " " << n.detail;
+  if (!seen->insert(id).second) {
+    os << "  (^ see node above)\n";
+    return;
+  }
+  os << "\n";
+  for (int c : n.children) PrintNode(plan, c, depth + 1, seen, os);
+}
+
+}  // namespace
+
+std::string HetPlan::ToString() const {
+  std::ostringstream os;
+  std::unordered_set<int> seen;
+  PrintNode(*this, root, 0, &seen, os);
+  return os.str();
+}
+
+HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
+                     const sim::Topology& topo) {
+  using Kind = HetOpNode::Kind;
+  constexpr auto kCpu = sim::DeviceType::kCpu;
+  constexpr auto kGpu = sim::DeviceType::kGpu;
+
+  HetPlan plan;
+  PlanBuilder b(&plan);
+  const Layout layout = ComputeLayout(policy, topo);
+
+  // --- Build subplans: one shared segmenter+broadcast per join, one build chain
+  // per participating device unit.
+  std::vector<std::vector<int>> cpu_builds;  // per join: build nodes on CPU units
+  std::vector<std::vector<int>> gpu_builds;
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const JoinSpec& join = spec.joins[j];
+    const int seg = b.Add(Kind::kSegmenter, kCpu, join.build_table, {});
+    int feed = seg;
+    if (layout.routers_present) {
+      feed = b.Add(Kind::kRouter, kCpu, "policy=broadcast(target-id)", {seg});
+    }
+    cpu_builds.emplace_back();
+    gpu_builds.emplace_back();
+    for (const auto& unit : layout.build_units) {
+      int chain = feed;
+      if (layout.routers_present) {
+        chain = b.Add(Kind::kMemMove, kCpu, "broadcast to " + unit.ToString(),
+                      {chain});
+      }
+      const auto dev_type = unit.type;
+      if (unit.is_gpu()) {
+        chain = b.Add(Kind::kCpu2Gpu, kGpu, "launch on " + unit.ToString(), {chain});
+      }
+      chain = b.Add(Kind::kUnpack, dev_type, "", {chain});
+      if (join.build_filter != nullptr) {
+        chain = b.Add(Kind::kFilter, dev_type, join.build_filter->ToString(),
+                      {chain});
+      }
+      chain = b.Add(Kind::kJoinBuild, dev_type,
+                    "ht[" + std::to_string(j) + "] on " + unit.ToString(), {chain});
+      (unit.is_gpu() ? gpu_builds : cpu_builds)[j].push_back(chain);
+    }
+  }
+
+  // --- Probe side: segmenter -> router -> per device-type branch.
+  const int fact_seg = b.Add(Kind::kSegmenter, kCpu, spec.fact_table, {});
+  int fact_feed = fact_seg;
+  if (layout.routers_present) {
+    fact_feed = b.Add(Kind::kRouter, kCpu,
+                      policy.load_balance ? "policy=load-balance"
+                                          : "policy=round-robin",
+                      {fact_seg}, static_cast<int>(layout.probe_instances.size()));
+  }
+
+  auto build_branch = [&](sim::DeviceType dev_type, int dop) -> int {
+    int chain = fact_feed;
+    if (layout.routers_present) {
+      chain = b.Add(Kind::kMemMove, kCpu, "to consumer-local memory", {chain}, dop);
+    }
+    if (dev_type == kGpu) {
+      chain = b.Add(Kind::kCpu2Gpu, kGpu,
+                    layout.routers_present ? "" : "UVA zero-copy", {chain}, dop);
+    }
+    chain = b.Add(Kind::kUnpack, dev_type, "", {chain}, dop);
+    if (spec.fact_filter != nullptr) {
+      chain = b.Add(Kind::kFilter, dev_type, spec.fact_filter->ToString(), {chain},
+                    dop);
+    }
+    if (policy.split_probe_stage && layout.routers_present) {
+      // Fig. 1e shape: filter stage, hash-pack, hash router, then the join stage.
+      const std::string key =
+          spec.joins.empty() ? "tuple-hash" : spec.joins[0].probe_key;
+      chain = b.Add(Kind::kHashPack, dev_type, "by hash(" + key + ")", {chain}, dop);
+      if (dev_type == kGpu) {
+        chain = b.Add(Kind::kGpu2Cpu, kCpu, "", {chain}, dop);
+      }
+      chain = b.Add(Kind::kRouter, kCpu, "policy=hash", {chain}, dop);
+      chain = b.Add(Kind::kMemMove, kCpu, "to consumer-local memory", {chain}, dop);
+      if (dev_type == kGpu) {
+        chain = b.Add(Kind::kCpu2Gpu, kGpu, "", {chain}, dop);
+      }
+      chain = b.Add(Kind::kUnpack, dev_type, "", {chain}, dop);
+    }
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      std::vector<int> children = {chain};
+      const auto& builds = dev_type == kGpu ? gpu_builds[j] : cpu_builds[j];
+      children.insert(children.end(), builds.begin(), builds.end());
+      chain = b.Add(Kind::kJoinProbe, dev_type,
+                    spec.joins[j].build_table + "." + spec.joins[j].build_key +
+                        " = " + spec.joins[j].probe_key,
+                    std::move(children), dop);
+    }
+    chain = b.Add(spec.group_by.empty() ? Kind::kReduceLocal : Kind::kGroupByLocal,
+                  dev_type, "", {chain}, dop);
+    chain = b.Add(Kind::kPack, dev_type, "partials", {chain}, dop);
+    if (dev_type == kGpu) {
+      chain = b.Add(Kind::kGpu2Cpu, kCpu, "async device->host queue", {chain}, dop);
+    }
+    return chain;
+  };
+
+  int cpu_dop = 0;
+  int gpu_dop = 0;
+  for (const auto& dev : layout.probe_instances) {
+    (dev.is_cpu() ? cpu_dop : gpu_dop) += 1;
+  }
+
+  std::vector<int> branch_tops;
+  if (cpu_dop > 0) branch_tops.push_back(build_branch(kCpu, cpu_dop));
+  if (gpu_dop > 0) branch_tops.push_back(build_branch(kGpu, gpu_dop));
+
+  int top;
+  if (layout.routers_present) {
+    top = b.Add(Kind::kRouter, kCpu, "policy=union", std::move(branch_tops));
+    top = b.Add(Kind::kMemMove, kCpu, "partials to gather", {top});
+  } else {
+    HETEX_CHECK(branch_tops.size() == 1);
+    top = branch_tops[0];
+  }
+  top = b.Add(Kind::kGather, kCpu,
+              spec.group_by.empty() ? "global reduce" : "global group-by merge",
+              {top});
+  plan.root = b.Add(Kind::kResult, kCpu, spec.name, {top});
+  return plan;
+}
+
+namespace {
+
+bool IsRelational(HetOpNode::Kind k) {
+  using Kind = HetOpNode::Kind;
+  return k == Kind::kFilter || k == Kind::kProject || k == Kind::kJoinBuild ||
+         k == Kind::kJoinProbe || k == Kind::kReduceLocal ||
+         k == Kind::kGroupByLocal;
+}
+
+bool IsBlockProducer(HetOpNode::Kind k) {
+  using Kind = HetOpNode::Kind;
+  return k == Kind::kSegmenter || k == Kind::kRouter || k == Kind::kMemMove ||
+         k == Kind::kCpu2Gpu || k == Kind::kGpu2Cpu || k == Kind::kPack ||
+         k == Kind::kHashPack;
+}
+
+}  // namespace
+
+Status ValidateHetPlan(const HetPlan& plan) {
+  using Kind = HetOpNode::Kind;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const HetOpNode& n = plan.nodes[i];
+
+    // Rule 2: device changes only at crossing operators.
+    for (int c : n.children) {
+      const HetOpNode& child = plan.node(c);
+      if (n.kind == Kind::kJoinProbe && &child != &plan.node(n.children[0])) {
+        continue;  // build-side children are separate pipeline networks
+      }
+      if (child.device != n.device &&
+          n.kind != Kind::kCpu2Gpu && n.kind != Kind::kGpu2Cpu) {
+        return Status::Internal("device transition without crossing operator at " +
+                                std::string(HetOpNode::KindName(n.kind)));
+      }
+    }
+    if (n.kind == Kind::kCpu2Gpu &&
+        (n.device != sim::DeviceType::kGpu ||
+         plan.node(n.children.at(0)).device != sim::DeviceType::kCpu)) {
+      return Status::Internal("cpu2gpu must move execution from CPU to GPU");
+    }
+    if (n.kind == Kind::kGpu2Cpu &&
+        (n.device != sim::DeviceType::kCpu ||
+         plan.node(n.children.at(0)).device != sim::DeviceType::kGpu)) {
+      return Status::Internal("gpu2cpu must move execution from GPU to CPU");
+    }
+
+    // Rule 1: relational operators consume unpacked, tuple-at-a-time input.
+    if (IsRelational(n.kind) && !n.children.empty()) {
+      int c = n.children[0];
+      while (true) {
+        const HetOpNode& child = plan.node(c);
+        if (child.kind == Kind::kUnpack || IsRelational(child.kind)) break;
+        if (IsBlockProducer(child.kind)) {
+          return Status::Internal(
+              std::string(HetOpNode::KindName(n.kind)) +
+              " consumes packed blocks without an unpack converter");
+        }
+        if (child.children.empty()) break;
+        c = child.children[0];
+      }
+    }
+
+    // Rule 3: a mem-move fixes data locality before execution crosses to a GPU.
+    if (n.kind == Kind::kCpu2Gpu && n.detail.find("UVA") == std::string::npos) {
+      const HetOpNode& below = plan.node(n.children.at(0));
+      if (below.kind != Kind::kMemMove) {
+        return Status::Internal("cpu2gpu without a mem-move fixing locality below");
+      }
+    }
+
+    // Rule 4: hash routers require hash-homogeneous blocks from a hash-pack.
+    if (n.kind == Kind::kRouter && n.detail.find("hash") != std::string::npos) {
+      for (int c : n.children) {
+        const HetOpNode* child = &plan.node(c);
+        if (child->kind == Kind::kGpu2Cpu) child = &plan.node(child->children.at(0));
+        if (child->kind != Kind::kHashPack) {
+          return Status::Internal("hash router fed by non-hash-pack producer");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hetex::plan

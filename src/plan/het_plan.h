@@ -1,0 +1,80 @@
+#ifndef HETEX_PLAN_HET_PLAN_H_
+#define HETEX_PLAN_HET_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/query_spec.h"
+#include "sim/topology.h"
+
+namespace hetex::plan {
+
+/// \brief Instance placement decided by the heterogeneity-aware planner.
+struct Layout {
+  /// One entry per probe-stage worker instance (CPU instances are interleaved
+  /// across sockets, as the paper does for scalability runs).
+  std::vector<sim::DeviceId> probe_instances;
+
+  /// Device units that need a hash-table replica for broadcast joins: one per
+  /// participating CPU socket plus one per participating GPU.
+  std::vector<sim::DeviceId> build_units;
+
+  /// Socket hosting the final gather/global-reduce instance.
+  int gather_socket = 0;
+
+  bool routers_present = true;   ///< false in bare (no-HetExchange) mode
+  bool has_gpu = false;
+  bool has_cpu = false;
+};
+
+/// Computes the layout for a policy on a topology.
+Layout ComputeLayout(const ExecPolicy& policy, const sim::Topology& topo);
+
+/// \brief Node of the explicit heterogeneity-aware operator DAG (the paper's
+/// Fig. 1e / Fig. 2b artifact). Used for plan printing, inspection and the §3.3
+/// placement-rule validation; the executor derives its runtime graph from the
+/// same Layout decisions.
+struct HetOpNode {
+  enum class Kind {
+    kSegmenter, kRouter, kMemMove, kCpu2Gpu, kGpu2Cpu, kPack, kHashPack, kUnpack,
+    kFilter, kProject, kJoinBuild, kJoinProbe, kReduceLocal, kGroupByLocal,
+    kGather, kResult,
+  };
+
+  Kind kind;
+  std::string detail;          ///< policy / predicate / table, free-form
+  sim::DeviceType device = sim::DeviceType::kCpu;
+  int dop = 1;
+  std::vector<int> children;   ///< indices into HetPlan::nodes
+
+  static const char* KindName(Kind kind);
+};
+
+/// The heterogeneity-aware plan: a DAG of HetOpNodes rooted at kResult.
+struct HetPlan {
+  std::vector<HetOpNode> nodes;
+  int root = -1;
+
+  const HetOpNode& node(int i) const { return nodes.at(i); }
+  std::string ToString() const;
+};
+
+/// Builds the heterogeneity-aware plan for a query under a policy (the paper's
+/// physical-plan -> HetExchange-augmented-plan step, inserted heuristically as in
+/// the paper's prototype, §5).
+HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
+                     const sim::Topology& topo);
+
+/// Structural validation of the §3.3 converter rules:
+///  1. relational operators only consume unpacked inputs (an Unpack lies between
+///     any block-producing operator and the relational section of its pipeline);
+///  2. every CPU->GPU (GPU->CPU) boundary is a Cpu2Gpu (Gpu2Cpu) operator;
+///  3. a MemMove precedes every device-crossing into a GPU pipeline (relational
+///     operators must be data-location agnostic);
+///  4. hash-policy routers are fed by hash-packs (block hash-homogeneity).
+Status ValidateHetPlan(const HetPlan& plan);
+
+}  // namespace hetex::plan
+
+#endif  // HETEX_PLAN_HET_PLAN_H_

@@ -1,0 +1,121 @@
+#ifndef HETEX_SIM_BANDWIDTH_H_
+#define HETEX_SIM_BANDWIDTH_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "sim/vtime.h"
+
+namespace hetex::sim {
+
+/// \brief A serially-shared virtual-time resource (e.g. one PCIe link, one GPU
+/// kernel stream).
+///
+/// Reservations queue behind each other in virtual time: a transfer scheduled at
+/// virtual time t on a busy link starts when the link frees up. This is what makes
+/// GPU execution PCIe-bound in the Fig. 5 regime and what lets back-to-back
+/// transfers pipeline with compute.
+class BandwidthServer {
+ public:
+  /// \param rate bytes per virtual second
+  /// \param latency fixed per-reservation setup cost in virtual seconds
+  explicit BandwidthServer(double rate, double latency = 0.0)
+      : rate_(rate), latency_(latency) {}
+
+  struct Window {
+    VTime start;
+    VTime end;
+  };
+
+  /// Reserves the resource for `bytes` no earlier than `earliest`; returns the
+  /// virtual-time window the work occupies.
+  Window Reserve(uint64_t bytes, VTime earliest) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const VTime start = MaxT(earliest, free_at_);
+    const VTime end = start + latency_ + static_cast<double>(bytes) / rate_;
+    free_at_ = end;
+    return {start, end};
+  }
+
+  /// Reserves a fixed-duration slot (e.g. a kernel whose cost was computed by the
+  /// cost model) no earlier than `earliest`.
+  Window ReserveDuration(VTime duration, VTime earliest) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const VTime start = MaxT(earliest, free_at_);
+    const VTime end = start + duration;
+    free_at_ = end;
+    return {start, end};
+  }
+
+  VTime free_at() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_at_;
+  }
+
+  /// Rewinds the resource to virtual time zero (between queries: each query runs
+  /// on its own virtual timeline).
+  void ResetClock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_at_ = 0.0;
+  }
+
+  double rate() const { return rate_; }
+  void set_rate(double rate) { rate_ = rate; }
+
+ private:
+  double rate_;
+  const double latency_;
+  mutable std::mutex mu_;
+  VTime free_at_ = 0.0;
+};
+
+/// \brief Fluid-share model of an aggregate-bandwidth resource (a socket's DRAM).
+///
+/// N concurrently active workers each see min(per-worker cap, total / N). This is
+/// the mechanism behind the Fig. 6/7 scalability curves: per-core bandwidth adds up
+/// linearly until the socket saturates, after which extra cores do not help.
+class SharedBandwidth {
+ public:
+  SharedBandwidth(double total_rate, double per_worker_rate)
+      : total_rate_(total_rate), per_worker_rate_(per_worker_rate) {}
+
+  /// RAII registration of an active worker.
+  class Guard {
+   public:
+    explicit Guard(SharedBandwidth* shared) : shared_(shared) {
+      shared_->active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Guard() {
+      if (shared_ != nullptr) shared_->active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard(Guard&& o) noexcept : shared_(o.shared_) { o.shared_ = nullptr; }
+
+   private:
+    SharedBandwidth* shared_;
+  };
+
+  Guard Enter() { return Guard(this); }
+
+  /// Bandwidth currently available to one active worker.
+  double EffectiveRate() const {
+    const int n = active_.load(std::memory_order_relaxed);
+    if (n <= 0) return per_worker_rate_;
+    const double share = total_rate_ / static_cast<double>(n);
+    return share < per_worker_rate_ ? share : per_worker_rate_;
+  }
+
+  int active_workers() const { return active_.load(std::memory_order_relaxed); }
+  double total_rate() const { return total_rate_; }
+  double per_worker_rate() const { return per_worker_rate_; }
+
+ private:
+  const double total_rate_;
+  const double per_worker_rate_;
+  std::atomic<int> active_{0};
+};
+
+}  // namespace hetex::sim
+
+#endif  // HETEX_SIM_BANDWIDTH_H_

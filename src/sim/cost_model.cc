@@ -1,0 +1,32 @@
+#include "sim/cost_model.h"
+
+namespace hetex::sim {
+
+CostModel CostModel::Paper() {
+  CostModel m;
+  // CPU core: ~0.3 ns fused per-tuple overhead, cheap micro-ops, DRAM-latency
+  // random accesses with limited memory-level parallelism (effective ~12 ns).
+  m.cpu = DeviceCaps{
+      /*tuple_cost=*/0.3e-9,
+      /*op_cost=*/0.08e-9,
+      /*atomic_cost=*/6e-9,
+      /*near_access_cost=*/1.0e-9,
+      /*mid_access_cost=*/4.0e-9,
+      /*far_access_cost=*/12.0e-9,
+      /*random_line_bytes=*/64.0,
+  };
+  // GPU: thousands of threads hide latency; constants are the *effective
+  // reciprocal-throughput per tuple of the whole kernel*, not per physical thread.
+  m.gpu = DeviceCaps{
+      /*tuple_cost=*/0.012e-9,
+      /*op_cost=*/0.004e-9,
+      /*atomic_cost=*/0.05e-9,   // amortized via neighborhood (warp) reduction
+      /*near_access_cost=*/0.03e-9,
+      /*mid_access_cost=*/0.15e-9,
+      /*far_access_cost=*/0.60e-9,
+      /*random_line_bytes=*/32.0,  // GDDR transaction granularity
+  };
+  return m;
+}
+
+}  // namespace hetex::sim

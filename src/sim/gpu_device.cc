@@ -1,0 +1,93 @@
+#include "sim/gpu_device.h"
+
+#include "common/logging.h"
+
+namespace hetex::sim {
+
+GpuDevice::GpuDevice(const Topology::GpuInfo& info, const CostModel* cost_model)
+    : info_(info), cost_model_(cost_model), worker_stats_(info.sim_threads) {
+  HETEX_CHECK(info.sim_threads > 0);
+  workers_.reserve(info.sim_threads);
+  for (int w = 0; w < info.sim_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+GpuDevice::~GpuDevice() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void GpuDevice::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const KernelFn* fn = nullptr;
+    int grid = 0;
+    int block_dim = 1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return generation_ != seen_generation; });
+      seen_generation = generation_;
+      if (shutdown_) return;
+      fn = current_fn_;
+      grid = grid_threads_;
+      block_dim = block_dim_;
+    }
+    CostStats& stats = worker_stats_[worker];
+    const int sim_threads = static_cast<int>(workers_.size());
+    // Worker `worker` simulates logical threads worker, worker+P, worker+2P, ...
+    for (int tid = worker; tid < grid; tid += sim_threads) {
+      KernelCtx ctx;
+      ctx.thread_id = tid;
+      ctx.num_threads = grid;
+      ctx.block_id = tid / block_dim;
+      ctx.block_dim = block_dim;
+      ctx.lane = tid % block_dim;
+      ctx.stats = &stats;
+      (*fn)(ctx);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_threads,
+                                                int block_dim, VTime earliest,
+                                                double stream_bw) {
+  HETEX_CHECK(grid_threads > 0 && block_dim > 0);
+  // Kernels on one GPU serialize, functionally and in virtual time.
+  std::lock_guard<std::mutex> launch_lock(launch_mu_);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& s : worker_stats_) s = CostStats{};
+    current_fn_ = &fn;
+    grid_threads_ = grid_threads;
+    block_dim_ = block_dim;
+    workers_remaining_ = static_cast<int>(workers_.size());
+    ++generation_;
+    cv_start_.notify_all();
+    cv_done_.wait(lock, [&] { return workers_remaining_ == 0; });
+    current_fn_ = nullptr;
+  }
+
+  LaunchResult result;
+  for (const auto& s : worker_stats_) result.stats.Add(s);
+
+  const double bw = stream_bw > 0.0 ? stream_bw : cost_model_->gpu_mem_bw;
+  const VTime work = cost_model_->WorkCost(result.stats, cost_model_->gpu, bw);
+  const auto window =
+      stream_.ReserveDuration(cost_model_->kernel_launch_latency + work, earliest);
+  result.start = window.start;
+  result.end = window.end;
+  return result;
+}
+
+}  // namespace hetex::sim

@@ -1,0 +1,71 @@
+#include "sim/topology.h"
+
+#include <sstream>
+
+namespace hetex::sim {
+
+Topology::Topology(const Options& options) : options_(options) {
+  HETEX_CHECK(options.num_sockets > 0);
+  HETEX_CHECK(options.cores_per_socket > 0);
+  HETEX_CHECK(options.num_gpus >= 0);
+
+  const CostModel& cm = options_.cost_model;
+
+  for (int s = 0; s < options.num_sockets; ++s) {
+    MemNodeId node = static_cast<MemNodeId>(mem_nodes_.size());
+    mem_nodes_.push_back(MemNode{node, /*is_gpu=*/false,
+                                 options.host_capacity_per_socket, DeviceId::Cpu(s)});
+    sockets_.push_back(Socket{s, options.cores_per_socket, node});
+    socket_dram_.push_back(
+        std::make_unique<SharedBandwidth>(cm.cpu_socket_bw, cm.cpu_core_bw));
+  }
+
+  for (int g = 0; g < options.num_gpus; ++g) {
+    MemNodeId node = static_cast<MemNodeId>(mem_nodes_.size());
+    mem_nodes_.push_back(
+        MemNode{node, /*is_gpu=*/true, options.gpu_capacity, DeviceId::Gpu(g)});
+    int link = static_cast<int>(pcie_links_.size());
+    pcie_links_.push_back(
+        std::make_unique<BandwidthServer>(cm.pcie_bw, cm.dma_latency));
+    // GPUs are distributed round-robin over sockets: one per socket on the paper
+    // server (dedicated PCIe 3.0 x16 per GPU).
+    gpus_.push_back(GpuInfo{g, node, g % options.num_sockets, link,
+                            options.gpu_sim_threads});
+  }
+}
+
+MemAccess Topology::CanAccess(DeviceId dev, MemNodeId node) const {
+  HETEX_CHECK(node >= 0 && node < num_mem_nodes()) << "bad mem node " << node;
+  const MemNode& mn = mem_nodes_[node];
+  if (dev.is_cpu()) {
+    // Host code reaches any socket's DRAM (NUMA), never GPU device memory.
+    return mn.is_gpu ? MemAccess::kNone : MemAccess::kLocal;
+  }
+  // GPU code reaches its own device memory at full bandwidth, and host DRAM over
+  // PCIe (UVA-style zero-copy); peer GPU memory is not addressable.
+  if (mn.is_gpu) {
+    return mn.owner == dev ? MemAccess::kLocal : MemAccess::kNone;
+  }
+  return MemAccess::kRemotePcie;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  os << "Topology: " << num_sockets() << " socket(s) x " << options_.cores_per_socket
+     << " cores, " << num_gpus() << " GPU(s)\n";
+  for (const auto& s : sockets_) {
+    os << "  socket" << s.id << ": mem node " << s.mem << " ("
+       << (mem_nodes_[s.mem].capacity >> 20) << " MiB modeled, "
+       << socket_dram_[s.id]->total_rate() / 1e9 << " GB/s)\n";
+  }
+  for (const auto& g : gpus_) {
+    os << "  gpu" << g.id << ": mem node " << g.mem << " ("
+       << (mem_nodes_[g.mem].capacity >> 20) << " MiB modeled, "
+       << cost_model().gpu_mem_bw / 1e9 << " GB/s), PCIe link " << g.pcie_link
+       << " -> socket" << g.socket << " ("
+       << pcie_links_[g.pcie_link]->rate() / 1e9 << " GB/s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetex::sim

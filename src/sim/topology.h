@@ -1,0 +1,159 @@
+#ifndef HETEX_SIM_TOPOLOGY_H_
+#define HETEX_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/bandwidth.h"
+#include "sim/cost_model.h"
+
+namespace hetex::sim {
+
+/// Kind of compute device.
+enum class DeviceType { kCpu, kGpu };
+
+/// \brief Identifies a compute device: a CPU socket or a GPU.
+///
+/// HetExchange instances are pinned to devices; per the paper (§4.2) every pipeline
+/// carries both a CPU and a GPU affinity and uses whichever matches its provider.
+struct DeviceId {
+  DeviceType type = DeviceType::kCpu;
+  int index = 0;
+
+  static DeviceId Cpu(int socket) { return {DeviceType::kCpu, socket}; }
+  static DeviceId Gpu(int gpu) { return {DeviceType::kGpu, gpu}; }
+
+  bool is_cpu() const { return type == DeviceType::kCpu; }
+  bool is_gpu() const { return type == DeviceType::kGpu; }
+
+  friend bool operator==(const DeviceId& a, const DeviceId& b) {
+    return a.type == b.type && a.index == b.index;
+  }
+  friend bool operator!=(const DeviceId& a, const DeviceId& b) { return !(a == b); }
+
+  std::string ToString() const {
+    return (is_cpu() ? "cpu" : "gpu") + std::to_string(index);
+  }
+};
+
+/// Identifies a memory node (a socket's DRAM or a GPU's device memory).
+using MemNodeId = int;
+inline constexpr MemNodeId kInvalidMemNode = -1;
+
+/// How a device can reach a memory node.
+enum class MemAccess {
+  kNone,        ///< not addressable (e.g. host code touching GPU memory)
+  kLocal,       ///< full-bandwidth local access
+  kRemotePcie,  ///< addressable but every access crosses PCIe (UVA-style)
+};
+
+/// \brief Static + dynamic description of the simulated heterogeneous server.
+///
+/// Owns the virtual-time bandwidth resources: one SharedBandwidth per socket DRAM
+/// and one BandwidthServer per PCIe link. Capacities are modeled numbers (used for
+/// fits-in-GPU-memory decisions); physical allocation is on demand and much
+/// smaller.
+class Topology {
+ public:
+  struct Options {
+    int num_sockets = 2;
+    int cores_per_socket = 12;
+    int num_gpus = 2;                       ///< one per socket in the paper server
+    uint64_t host_capacity_per_socket = 128ull << 30;
+    uint64_t gpu_capacity = 8ull << 30;
+    int gpu_sim_threads = 4;                ///< host threads emulating one GPU
+    CostModel cost_model = CostModel::Paper();
+  };
+
+  struct MemNode {
+    MemNodeId id;
+    bool is_gpu;
+    uint64_t capacity;
+    DeviceId owner;
+  };
+
+  struct Socket {
+    int id;
+    int num_cores;
+    MemNodeId mem;
+  };
+
+  struct GpuInfo {
+    int id;
+    MemNodeId mem;
+    int socket;      ///< socket whose PCIe root it hangs off
+    int pcie_link;   ///< index into pcie_links()
+    int sim_threads;
+  };
+
+  explicit Topology(const Options& options);
+
+  /// The paper's evaluation server: 2 sockets × 12 cores, 2 GPUs (8 GB each).
+  static Topology PaperServer() { return Topology(Options{}); }
+
+  const Options& options() const { return options_; }
+  const CostModel& cost_model() const { return options_.cost_model; }
+
+  int num_sockets() const { return static_cast<int>(sockets_.size()); }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  int num_cores() const { return num_sockets() * options_.cores_per_socket; }
+  int num_mem_nodes() const { return static_cast<int>(mem_nodes_.size()); }
+
+  const Socket& socket(int i) const { return sockets_.at(i); }
+  const GpuInfo& gpu(int i) const { return gpus_.at(i); }
+  const MemNode& mem_node(MemNodeId id) const { return mem_nodes_.at(id); }
+
+  /// Memory node local to a device.
+  MemNodeId LocalMemNode(DeviceId dev) const {
+    return dev.is_cpu() ? sockets_.at(dev.index).mem : gpus_.at(dev.index).mem;
+  }
+
+  /// The socket that controls a device (for GPUs: the PCIe-attached socket).
+  int HostSocketOf(DeviceId dev) const {
+    return dev.is_cpu() ? dev.index : gpus_.at(dev.index).socket;
+  }
+
+  /// Access class of `dev` touching `node` (see MemAccess).
+  MemAccess CanAccess(DeviceId dev, MemNodeId node) const;
+
+  /// PCIe link used to move data between host memory and a GPU's memory.
+  int PcieLinkOf(int gpu) const { return gpus_.at(gpu).pcie_link; }
+
+  /// Virtual-time resources.
+  BandwidthServer& pcie_link(int link) { return *pcie_links_.at(link); }
+  SharedBandwidth& socket_dram(int socket) { return *socket_dram_.at(socket); }
+
+  /// Rewinds all interconnect clocks to virtual time zero (start of a query).
+  void ResetVirtualTime() {
+    for (auto& link : pcie_links_) link->ResetClock();
+  }
+
+  /// Socket of a core index in [0, num_cores), interleaved across sockets as the
+  /// paper does for its scalability experiments ("we interleave the CPU cores
+  /// between the two sockets").
+  int SocketOfCore(int core) const { return core % num_sockets(); }
+
+  /// Aggregate modeled GPU memory capacity, for fits-in-GPU decisions (Fig. 4 vs 5).
+  uint64_t AggregateGpuCapacity() const {
+    uint64_t total = 0;
+    for (const auto& g : gpus_) total += mem_nodes_[g.mem].capacity;
+    return total;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Options options_;
+  std::vector<Socket> sockets_;
+  std::vector<GpuInfo> gpus_;
+  std::vector<MemNode> mem_nodes_;
+  std::vector<std::unique_ptr<BandwidthServer>> pcie_links_;
+  std::vector<std::unique_ptr<SharedBandwidth>> socket_dram_;
+};
+
+}  // namespace hetex::sim
+
+#endif  // HETEX_SIM_TOPOLOGY_H_

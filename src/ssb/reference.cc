@@ -1,0 +1,143 @@
+#include "ssb/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "jit/hash_table.h"
+
+namespace hetex::ssb {
+
+namespace {
+
+using plan::ExprPtr;
+using plan::QuerySpec;
+using storage::Table;
+
+/// Join-side index: key -> matching dimension row numbers.
+struct DimIndex {
+  const Table* table = nullptr;
+  std::unordered_multimap<int64_t, uint64_t> rows;
+};
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> ReferenceExecute(const QuerySpec& spec,
+                                                   const storage::Catalog& catalog) {
+  const Table& fact = catalog.at(spec.fact_table);
+
+  // Build dimension indexes (applying build-side filters).
+  std::vector<DimIndex> dims(spec.joins.size());
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const auto& join = spec.joins[j];
+    const Table& table = catalog.at(join.build_table);
+    dims[j].table = &table;
+    const auto getter = [&](uint64_t row) {
+      return [&table, row](const std::string& name) {
+        return table.column(name).At(row);
+      };
+    };
+    for (uint64_t r = 0; r < table.rows(); ++r) {
+      if (join.build_filter != nullptr && join.build_filter->Eval(getter(r)) == 0) {
+        continue;
+      }
+      dims[j].rows.emplace(table.column(join.build_key).At(r), r);
+    }
+  }
+
+  const bool grouped = !spec.group_by.empty();
+  const ExprPtr group_key =
+      grouped ? plan::CombineGroupKeys(spec.group_by) : nullptr;
+
+  std::vector<int64_t> scalar_accs(spec.aggs.size());
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    scalar_accs[a] = jit::AggIdentity(spec.aggs[a].func);
+  }
+  std::map<int64_t, std::vector<int64_t>> groups;
+
+  // Row environment: fact columns plus the payload columns of matched dim rows.
+  std::vector<uint64_t> matched(spec.joins.size());
+  uint64_t fact_row = 0;
+  const auto env = [&](const std::string& name) -> int64_t {
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      for (const auto& p : spec.joins[j].payload) {
+        if (p == name) return dims[j].table->column(name).At(matched[j]);
+      }
+    }
+    return fact.column(name).At(fact_row);
+  };
+
+  const auto accumulate = [&] {
+    if (grouped) {
+      const int64_t key = group_key->Eval(env);
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.resize(spec.aggs.size());
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          // COUNT groups accumulate literal 1s with SUM, as the engine does.
+          const jit::AggFunc f = spec.aggs[a].func == jit::AggFunc::kCount
+                                     ? jit::AggFunc::kSum
+                                     : spec.aggs[a].func;
+          it->second[a] = jit::AggIdentity(f);
+        }
+      }
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        const auto& agg = spec.aggs[a];
+        if (agg.func == jit::AggFunc::kCount) {
+          jit::AggApply(jit::AggFunc::kSum, &it->second[a], 1);
+        } else {
+          jit::AggApply(agg.func, &it->second[a], agg.value->Eval(env));
+        }
+      }
+    } else {
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        const auto& agg = spec.aggs[a];
+        const int64_t v =
+            agg.func == jit::AggFunc::kCount ? 0 : agg.value->Eval(env);
+        jit::AggApply(agg.func, &scalar_accs[a], v);
+      }
+    }
+  };
+
+  // Nested-loop over join matches, mirroring the generated probe loops.
+  std::function<void(size_t)> probe = [&](size_t j) {
+    if (j == spec.joins.size()) {
+      accumulate();
+      return;
+    }
+    const int64_t key = fact.column(spec.joins[j].probe_key).At(fact_row);
+    auto [lo, hi] = dims[j].rows.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      matched[j] = it->second;
+      probe(j + 1);
+    }
+  };
+
+  for (uint64_t r = 0; r < fact.rows(); ++r) {
+    fact_row = r;
+    if (spec.fact_filter != nullptr) {
+      const auto fact_getter = [&](const std::string& name) {
+        return fact.column(name).At(r);
+      };
+      if (spec.fact_filter->Eval(fact_getter) == 0) continue;
+    }
+    probe(0);
+  }
+
+  std::vector<std::vector<int64_t>> out;
+  if (grouped) {
+    for (const auto& [key, accs] : groups) {
+      std::vector<int64_t> row;
+      row.push_back(key);
+      row.insert(row.end(), accs.begin(), accs.end());
+      out.push_back(std::move(row));
+    }
+  } else {
+    out.push_back(scalar_accs);
+  }
+  return out;
+}
+
+}  // namespace hetex::ssb

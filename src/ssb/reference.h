@@ -1,0 +1,23 @@
+#ifndef HETEX_SSB_REFERENCE_H_
+#define HETEX_SSB_REFERENCE_H_
+
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "storage/table.h"
+
+namespace hetex::ssb {
+
+/// \brief Naive single-threaded evaluator over staging data.
+///
+/// The correctness oracle for every engine in this repository (HetExchange
+/// configurations, DBMS C, DBMS G): hash-joins the dimensions row-at-a-time with
+/// std containers and mirrors the engine's result layout exactly — scalar
+/// aggregates yield one row of accumulators; group-bys yield
+/// [combined key, aggregates...] sorted by key.
+std::vector<std::vector<int64_t>> ReferenceExecute(const plan::QuerySpec& spec,
+                                                   const storage::Catalog& catalog);
+
+}  // namespace hetex::ssb
+
+#endif  // HETEX_SSB_REFERENCE_H_

@@ -1,0 +1,30 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+namespace hetex::storage {
+
+Dictionary::Dictionary(std::vector<std::string> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  HETEX_CHECK(!values_.empty());
+}
+
+int32_t Dictionary::Code(std::string_view value) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  HETEX_CHECK(it != values_.end() && *it == value)
+      << "value not in dictionary: " << value;
+  return static_cast<int32_t>(it - values_.begin());
+}
+
+int32_t Dictionary::LowerBound(std::string_view value) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  return static_cast<int32_t>(it - values_.begin());
+}
+
+int32_t Dictionary::UpperBound(std::string_view value) const {
+  auto it = std::upper_bound(values_.begin(), values_.end(), value);
+  return static_cast<int32_t>(it - values_.begin());
+}
+
+}  // namespace hetex::storage

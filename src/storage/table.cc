@@ -1,0 +1,106 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hetex::storage {
+
+Table::~Table() { Unplace(); }
+
+Column* Table::AddColumn(const std::string& name, ColType type) {
+  HETEX_CHECK(col_index_.find(name) == col_index_.end())
+      << "duplicate column " << name;
+  HETEX_CHECK(!placed()) << "cannot add columns to a placed table";
+  col_index_[name] = static_cast<int>(columns_.size());
+  columns_.push_back(std::make_unique<Column>(name, type));
+  return columns_.back().get();
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  auto it = col_index_.find(name);
+  HETEX_CHECK(it != col_index_.end())
+      << "no column '" << name << "' in table " << name_;
+  return it->second;
+}
+
+Status Table::Place(const std::vector<sim::MemNodeId>& nodes,
+                    memory::MemoryRegistry* mem, bool pinned) {
+  HETEX_CHECK(!nodes.empty());
+  Unplace();
+  placed_mem_ = mem;
+  pinned_ = pinned;
+
+  const uint64_t total = rows();
+  const uint64_t n = nodes.size();
+  const uint64_t per_node = (total + n - 1) / n;
+  uint64_t begin = 0;
+  for (uint64_t i = 0; i < n && begin < total; ++i) {
+    const uint64_t chunk_rows = std::min(per_node, total - begin);
+    Chunk chunk;
+    chunk.row_begin = begin;
+    chunk.rows = chunk_rows;
+    chunk.node = nodes[i];
+    chunk.col_data.reserve(columns_.size());
+    for (auto& col : columns_) {
+      auto alloc = mem->manager(nodes[i]).Allocate(chunk_rows * col->width());
+      if (!alloc.ok()) {
+        Unplace();
+        return alloc.status();
+      }
+      auto* dst = static_cast<std::byte*>(alloc.value());
+      std::memcpy(dst, col->raw() + begin * col->width(), chunk_rows * col->width());
+      chunk.col_data.push_back(dst);
+    }
+    chunks_.push_back(std::move(chunk));
+    begin += chunk_rows;
+  }
+  return Status::OK();
+}
+
+void Table::Unplace() {
+  if (placed_mem_ == nullptr) return;
+  for (auto& chunk : chunks_) {
+    for (std::byte* p : chunk.col_data) {
+      placed_mem_->manager(chunk.node).Free(p);
+    }
+  }
+  chunks_.clear();
+  placed_mem_ = nullptr;
+}
+
+uint64_t Table::ColumnSetBytes(const std::vector<std::string>& cols) const {
+  uint64_t bytes = 0;
+  for (const auto& c : cols) bytes += column(c).bytes();
+  return bytes;
+}
+
+void Table::DropStaging() {
+  HETEX_CHECK(placed()) << "DropStaging before Place loses the data";
+  for (auto& col : columns_) {
+    auto fresh = std::make_unique<Column>(col->name(), col->type());
+    fresh->set_dictionary(col->dictionary());
+    *col = std::move(*fresh);
+  }
+}
+
+Table* Catalog::CreateTable(const std::string& name) {
+  HETEX_CHECK(tables_.find(name) == tables_.end()) << "duplicate table " << name;
+  auto table = std::make_unique<Table>(name);
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Table* Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table& Catalog::at(const std::string& name) const {
+  Table* t = Get(name);
+  HETEX_CHECK(t != nullptr) << "no table " << name;
+  return *t;
+}
+
+}  // namespace hetex::storage

@@ -1,0 +1,100 @@
+#include "common/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hetex {
+namespace {
+
+TEST(MpmcQueue, FifoOrder) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop(), i);
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(MpmcQueue, TryPopOnEmptyReturnsNullopt) {
+  MpmcQueue<int> q;
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(MpmcQueue, CloseWakesConsumersAndDrains) {
+  MpmcQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_EQ(q.Pop(), 1);            // drains queued items first
+  EXPECT_EQ(q.Pop(), std::nullopt);  // then reports end-of-stream
+  EXPECT_FALSE(q.Push(2));           // producers fail after close
+}
+
+TEST(MpmcQueue, BlockedConsumerWakesOnClose) {
+  MpmcQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcQueue<int> q(64);  // small capacity: exercises backpressure
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueue, BackpressureBlocksProducerUntilPop) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(2));
+    pushed.store(true);
+  });
+  // The producer must be blocked on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+}  // namespace
+}  // namespace hetex

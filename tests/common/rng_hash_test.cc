@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace hetex {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBool(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.02);
+}
+
+TEST(HashMix64, InjectiveOnSmallDomain) {
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 100000; ++k) seen.insert(HashMix64(k));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashMix64, AvalanchesLowBits) {
+  // Consecutive keys should land in different buckets of a small table.
+  std::set<uint64_t> buckets;
+  for (uint64_t k = 0; k < 64; ++k) buckets.insert(HashMix64(k) & 1023);
+  EXPECT_GT(buckets.size(), 55u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(HashCombine(HashMix64(1), 2), HashCombine(HashMix64(2), 1));
+}
+
+}  // namespace
+}  // namespace hetex

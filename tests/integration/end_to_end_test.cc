@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hetex {
+namespace {
+
+using plan::ExecPolicy;
+using test::TestEnv;
+
+TEST(EndToEnd, Q11CpuOnlyMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(1, 1);
+  const auto expected = env.Reference(spec);
+  const auto result = env.Run(spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, expected);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+}
+
+TEST(EndToEnd, Q11GpuOnlyMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(1, 1);
+  const auto expected = env.Reference(spec);
+  const auto result = env.Run(spec, TestEnv::Tune(ExecPolicy::GpuOnly()));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.rows, expected);
+}
+
+TEST(EndToEnd, Q11HybridMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(1, 1);
+  const auto expected = env.Reference(spec);
+  const auto result = env.Run(spec, TestEnv::Tune(ExecPolicy::Hybrid()));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.rows, expected);
+}
+
+TEST(EndToEnd, Q21GroupByHybridMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(2, 1);
+  const auto expected = env.Reference(spec);
+  const auto result = env.Run(spec, TestEnv::Tune(ExecPolicy::Hybrid()));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.rows, expected);
+}
+
+TEST(EndToEnd, BareCpuMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(1, 2);
+  const auto expected = env.Reference(spec);
+  const auto result =
+      env.Run(spec, TestEnv::Tune(ExecPolicy::Bare(sim::DeviceType::kCpu)));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.rows, expected);
+}
+
+TEST(EndToEnd, BareGpuUvaMatchesReference) {
+  TestEnv env;
+  const auto spec = env.ssb->Query(1, 2);
+  const auto expected = env.Reference(spec);
+  const auto result =
+      env.Run(spec, TestEnv::Tune(ExecPolicy::Bare(sim::DeviceType::kGpu)));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.rows, expected);
+}
+
+}  // namespace
+}  // namespace hetex

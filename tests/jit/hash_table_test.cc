@@ -1,0 +1,196 @@
+#include "jit/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hetex::jit {
+namespace {
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  HashTableTest() : mm_(0, 256ull << 20) {}
+  memory::MemoryManager mm_;
+};
+
+TEST_F(HashTableTest, InsertAndProbeSingleMatch) {
+  JoinHashTable ht(&mm_, 16, 2);
+  int64_t payload[2] = {100, 200};
+  ht.Insert(7, payload);
+  uint64_t hops = 0;
+  int64_t e = ht.FindKeyFrom(ht.ProbeHead(7), 7, &hops);
+  ASSERT_GE(e, 0);
+  EXPECT_EQ(ht.PayloadOf(e)[0], 100);
+  EXPECT_EQ(ht.PayloadOf(e)[1], 200);
+}
+
+TEST_F(HashTableTest, MissingKeyProbesToMinusOne) {
+  JoinHashTable ht(&mm_, 16, 0);
+  ht.Insert(1, nullptr);
+  uint64_t hops = 0;
+  EXPECT_EQ(ht.FindKeyFrom(ht.ProbeHead(999), 999, &hops), -1);
+}
+
+TEST_F(HashTableTest, DuplicateKeysChainAllMatches) {
+  JoinHashTable ht(&mm_, 16, 1);
+  for (int64_t i = 0; i < 5; ++i) {
+    int64_t payload = i * 10;
+    ht.Insert(42, &payload);
+  }
+  uint64_t hops = 0;
+  std::vector<int64_t> found;
+  for (int64_t e = ht.FindKeyFrom(ht.ProbeHead(42), 42, &hops); e >= 0;
+       e = ht.FindKeyFrom(ht.NextEntry(e), 42, &hops)) {
+    found.push_back(ht.PayloadOf(e)[0]);
+  }
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<int64_t>{0, 10, 20, 30, 40}));
+}
+
+TEST_F(HashTableTest, ChainsSkipColldingOtherKeys) {
+  // Fill densely so bucket collisions are certain, then verify exact matching.
+  JoinHashTable ht(&mm_, 1000, 1);
+  for (int64_t k = 0; k < 1000; ++k) {
+    int64_t payload = k * 3;
+    ht.Insert(k, &payload);
+  }
+  uint64_t hops = 0;
+  for (int64_t k = 0; k < 1000; ++k) {
+    int64_t e = ht.FindKeyFrom(ht.ProbeHead(k), k, &hops);
+    ASSERT_GE(e, 0) << "key " << k;
+    EXPECT_EQ(ht.PayloadOf(e)[0], k * 3);
+    EXPECT_EQ(ht.FindKeyFrom(ht.NextEntry(e), k, &hops), -1);
+  }
+}
+
+TEST_F(HashTableTest, NegativeKeysWork) {
+  JoinHashTable ht(&mm_, 8, 1);
+  int64_t payload = 5;
+  ht.Insert(-12345, &payload);
+  uint64_t hops = 0;
+  EXPECT_GE(ht.FindKeyFrom(ht.ProbeHead(-12345), -12345, &hops), 0);
+}
+
+TEST_F(HashTableTest, ConcurrentBuildFindsEverything) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  JoinHashTable ht(&mm_, kThreads * kPerThread, 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        int64_t key = t * kPerThread + i;
+        ht.Insert(key, &key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ht.size(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t hops = 0;
+  for (int64_t k = 0; k < kThreads * kPerThread; k += 97) {
+    int64_t e = ht.FindKeyFrom(ht.ProbeHead(k), k, &hops);
+    ASSERT_GE(e, 0);
+    EXPECT_EQ(ht.PayloadOf(e)[0], k);
+  }
+}
+
+TEST_F(HashTableTest, BytesReflectFootprint) {
+  JoinHashTable small(&mm_, 16, 0);
+  JoinHashTable big(&mm_, 100000, 4);
+  EXPECT_GT(big.bytes(), small.bytes());
+  EXPECT_GE(big.bytes(), 100000 * (2 + 4) * 8ull);
+}
+
+TEST_F(HashTableTest, MemoryReturnedOnDestruction) {
+  const uint64_t before = mm_.used();
+  {
+    JoinHashTable ht(&mm_, 1000, 2);
+    EXPECT_GT(mm_.used(), before);
+  }
+  EXPECT_EQ(mm_.used(), before);
+}
+
+TEST_F(HashTableTest, AggUpdateCreatesAndFolds) {
+  AggFunc funcs[2] = {AggFunc::kSum, AggFunc::kMax};
+  AggHashTable ht(&mm_, 64, 2, funcs);
+  uint64_t probes = 0;
+  int64_t v1[2] = {5, 7};
+  int64_t v2[2] = {3, 2};
+  ht.Update(1, v1, false, &probes);
+  ht.Update(1, v2, false, &probes);
+  EXPECT_EQ(ht.size(), 1u);
+  ht.ForEach([&](int64_t key, const int64_t* accs) {
+    EXPECT_EQ(key, 1);
+    EXPECT_EQ(accs[0], 8);   // sum
+    EXPECT_EQ(accs[1], 7);   // max
+  });
+}
+
+TEST_F(HashTableTest, AggManyGroups) {
+  AggFunc funcs[1] = {AggFunc::kSum};
+  AggHashTable ht(&mm_, 512, 1, funcs);
+  uint64_t probes = 0;
+  for (int64_t k = 0; k < 500; ++k) {
+    for (int64_t rep = 0; rep < 3; ++rep) {
+      int64_t v = k;
+      ht.Update(k, &v, false, &probes);
+    }
+  }
+  EXPECT_EQ(ht.size(), 500u);
+  std::map<int64_t, int64_t> seen;
+  ht.ForEach([&](int64_t key, const int64_t* accs) { seen[key] = accs[0]; });
+  for (int64_t k = 0; k < 500; ++k) EXPECT_EQ(seen[k], 3 * k);
+}
+
+TEST_F(HashTableTest, AggAtomicModeConcurrentUpdates) {
+  AggFunc funcs[1] = {AggFunc::kSum};
+  AggHashTable ht(&mm_, 128, 1, funcs);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      uint64_t probes = 0;
+      for (int64_t i = 0; i < 10000; ++i) {
+        int64_t one = 1;
+        ht.Update(i % 100, &one, /*atomic=*/true, &probes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  int64_t total = 0;
+  ht.ForEach([&](int64_t, const int64_t* accs) { total += accs[0]; });
+  EXPECT_EQ(total, 8 * 10000);
+  EXPECT_EQ(ht.size(), 100u);
+}
+
+TEST_F(HashTableTest, AggMinMaxIdentities) {
+  AggFunc funcs[2] = {AggFunc::kMin, AggFunc::kMax};
+  AggHashTable ht(&mm_, 8, 2, funcs);
+  uint64_t probes = 0;
+  int64_t v[2] = {-5, -5};
+  ht.Update(0, v, false, &probes);
+  ht.ForEach([&](int64_t, const int64_t* accs) {
+    EXPECT_EQ(accs[0], -5);
+    EXPECT_EQ(accs[1], -5);
+  });
+}
+
+TEST(AggApply, AtomicMatchesPlainSemantics) {
+  for (AggFunc f : {AggFunc::kSum, AggFunc::kCount, AggFunc::kMin, AggFunc::kMax}) {
+    int64_t plain = AggIdentity(f);
+    std::atomic<int64_t> atomic{AggIdentity(f)};
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      const int64_t v = rng.UniformRange(-50, 50);
+      AggApply(f, &plain, v);
+      AggApplyAtomic(f, &atomic, v);
+    }
+    EXPECT_EQ(plain, atomic.load()) << static_cast<int>(f);
+  }
+}
+
+}  // namespace
+}  // namespace hetex::jit

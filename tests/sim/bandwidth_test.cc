@@ -1,0 +1,98 @@
+#include "sim/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hetex::sim {
+namespace {
+
+TEST(BandwidthServer, SingleReservationTakesBytesOverRate) {
+  BandwidthServer server(1e9);  // 1 GB/s
+  auto w = server.Reserve(1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(w.start, 0.0);
+  EXPECT_DOUBLE_EQ(w.end, 1e-3);
+}
+
+TEST(BandwidthServer, LatencyAddsPerReservation) {
+  BandwidthServer server(1e9, /*latency=*/1e-5);
+  auto w = server.Reserve(1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(w.end, 1e-3 + 1e-5);
+}
+
+TEST(BandwidthServer, BackToBackReservationsQueue) {
+  BandwidthServer server(1e9);
+  auto w1 = server.Reserve(1'000'000, 0.0);
+  auto w2 = server.Reserve(1'000'000, 0.0);  // scheduled while busy
+  EXPECT_DOUBLE_EQ(w2.start, w1.end);
+  EXPECT_DOUBLE_EQ(w2.end, 2e-3);
+}
+
+TEST(BandwidthServer, EarliestDefersStart) {
+  BandwidthServer server(1e9);
+  auto w = server.Reserve(1000, /*earliest=*/5.0);
+  EXPECT_DOUBLE_EQ(w.start, 5.0);
+}
+
+TEST(BandwidthServer, ReserveDurationOccupiesWindow) {
+  BandwidthServer server(1.0);
+  auto w1 = server.ReserveDuration(0.25, 0.0);
+  auto w2 = server.ReserveDuration(0.25, 0.1);
+  EXPECT_DOUBLE_EQ(w1.end, 0.25);
+  EXPECT_DOUBLE_EQ(w2.start, 0.25);  // queued behind w1 despite earliest=0.1
+}
+
+TEST(BandwidthServer, ResetClockRewindsToZero) {
+  BandwidthServer server(1e9);
+  server.Reserve(1'000'000, 0.0);
+  EXPECT_GT(server.free_at(), 0.0);
+  server.ResetClock();
+  EXPECT_DOUBLE_EQ(server.free_at(), 0.0);
+  auto w = server.Reserve(1000, 0.0);
+  EXPECT_DOUBLE_EQ(w.start, 0.0);
+}
+
+TEST(BandwidthServer, ConcurrentReservationsNeverOverlap) {
+  BandwidthServer server(1e9);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<BandwidthServer::Window> windows(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        windows[t * kPerThread + i] = server.Reserve(1000, 0.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Total occupied time == sum of durations (no overlap, no gaps from t=0).
+  double max_end = 0;
+  for (const auto& w : windows) max_end = std::max(max_end, w.end);
+  EXPECT_NEAR(max_end, kThreads * kPerThread * 1000 / 1e9, 1e-12);
+}
+
+TEST(SharedBandwidth, PerWorkerCapUntilSaturation) {
+  SharedBandwidth dram(45e9, 6e9);
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);  // idle: full per-core rate
+  std::vector<SharedBandwidth::Guard> guards;
+  for (int i = 0; i < 7; ++i) guards.emplace_back(&dram);
+  // 7 workers: 45/7 = 6.43 > 6 -> still per-core capped.
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);
+  guards.emplace_back(&dram);
+  // 8 workers: 45/8 = 5.625 < 6 -> fluid share kicks in.
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 45e9 / 8);
+}
+
+TEST(SharedBandwidth, GuardReleasesOnDestruction) {
+  SharedBandwidth dram(10e9, 1e9);
+  {
+    auto g = dram.Enter();
+    EXPECT_EQ(dram.active_workers(), 1);
+  }
+  EXPECT_EQ(dram.active_workers(), 0);
+}
+
+}  // namespace
+}  // namespace hetex::sim

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sim/dma_engine.h"
+#include "sim/gpu_device.h"
+#include "sim/topology.h"
+
+namespace hetex::sim {
+namespace {
+
+class DmaTest : public ::testing::Test {
+ protected:
+  DmaTest() : topo_(Topology::Options{}), dma_(&topo_) {}
+  Topology topo_;
+  DmaEngine dma_;
+};
+
+TEST_F(DmaTest, FunctionalCopy) {
+  std::vector<uint8_t> src(4096);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<uint8_t> dst(4096, 0);
+  TransferTicket t = dma_.Transfer(src.data(), dst.data(), src.size(), 0, 0.0);
+  t.Wait();
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST_F(DmaTest, ModeledTimeMatchesLinkRate) {
+  std::vector<uint8_t> buf(1 << 20);
+  std::vector<uint8_t> dst(1 << 20);
+  const double expected = topo_.cost_model().dma_latency +
+                          (1 << 20) / topo_.cost_model().pcie_bw;
+  TransferTicket t = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
+  EXPECT_NEAR(t.ready_at(), expected, 1e-12);
+  t.Wait();  // buffers must outlive the async copy
+}
+
+TEST_F(DmaTest, PageableHalvesThroughput) {
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  TransferTicket pinned = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
+  topo_.ResetVirtualTime();
+  TransferTicket pageable =
+      dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, /*pageable=*/true);
+  const auto& cm = topo_.cost_model();
+  EXPECT_GT(pageable.ready_at(), pinned.ready_at() * 1.5);
+  EXPECT_NEAR(pageable.ready_at() - cm.dma_latency,
+              (1 << 20) / cm.pcie_pageable_bw, 1e-9);
+  pinned.Wait();
+  pageable.Wait();
+}
+
+TEST_F(DmaTest, TransfersOnOneLinkQueue) {
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  TransferTicket t1 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
+  TransferTicket t2 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
+  EXPECT_GT(t2.ready_at(), t1.ready_at());
+  t1.Wait();
+  t2.Wait();
+}
+
+TEST_F(DmaTest, SeparateLinksRunInParallel) {
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  TransferTicket t1 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
+  TransferTicket t2 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 1, 0.0);
+  EXPECT_DOUBLE_EQ(t1.ready_at(), t2.ready_at());  // independent virtual queues
+  t1.Wait();
+  t2.Wait();
+}
+
+class GpuDeviceTest : public ::testing::Test {
+ protected:
+  GpuDeviceTest() : topo_(MakeOptions()), gpu_(topo_.gpu(0), &topo_.cost_model()) {}
+  static Topology::Options MakeOptions() {
+    Topology::Options o;
+    o.gpu_sim_threads = 3;  // deliberately odd
+    return o;
+  }
+  Topology topo_;
+  GpuDevice gpu_;
+};
+
+TEST_F(GpuDeviceTest, EveryLogicalThreadRunsExactlyOnce) {
+  constexpr int kGrid = 257;  // not divisible by sim threads
+  std::vector<std::atomic<int>> hits(kGrid);
+  auto kernel = [&](const KernelCtx& ctx) {
+    hits[ctx.thread_id].fetch_add(1);
+    EXPECT_EQ(ctx.num_threads, kGrid);
+  };
+  gpu_.LaunchKernel(kernel, kGrid, 32, 0.0);
+  for (int i = 0; i < kGrid; ++i) EXPECT_EQ(hits[i].load(), 1) << "tid " << i;
+}
+
+TEST_F(GpuDeviceTest, BlockAndLaneIdsConsistent) {
+  auto kernel = [&](const KernelCtx& ctx) {
+    EXPECT_EQ(ctx.block_id, ctx.thread_id / ctx.block_dim);
+    EXPECT_EQ(ctx.lane, ctx.thread_id % ctx.block_dim);
+    EXPECT_EQ(ctx.block_dim, 32);
+  };
+  gpu_.LaunchKernel(kernel, 128, 32, 0.0);
+}
+
+TEST_F(GpuDeviceTest, StatsAggregateAcrossWorkers) {
+  auto kernel = [&](const KernelCtx& ctx) { ctx.stats->tuples += 2; };
+  auto r = gpu_.LaunchKernel(kernel, 100, 32, 0.0);
+  EXPECT_EQ(r.stats.tuples, 200u);
+}
+
+TEST_F(GpuDeviceTest, LaunchLatencyCharged) {
+  auto noop = [](const KernelCtx&) {};
+  auto r = gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  EXPECT_NEAR(r.end - r.start, topo_.cost_model().kernel_launch_latency, 1e-12);
+}
+
+TEST_F(GpuDeviceTest, KernelsSerializeOnStream) {
+  auto noop = [](const KernelCtx&) {};
+  auto r1 = gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  auto r2 = gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  EXPECT_DOUBLE_EQ(r2.start, r1.end);
+}
+
+TEST_F(GpuDeviceTest, StreamingCostUsesDeviceBandwidth) {
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 320'000'000;
+  };
+  auto r = gpu_.LaunchKernel(kernel, 64, 32, 0.0);
+  // 320 MB at 320 GB/s = 1 ms (+ launch latency).
+  EXPECT_NEAR(r.end - r.start, 1e-3 + topo_.cost_model().kernel_launch_latency,
+              1e-5);
+}
+
+TEST_F(GpuDeviceTest, StreamBwOverrideForUva) {
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  auto r = gpu_.LaunchKernel(kernel, 64, 32, 0.0, topo_.cost_model().pcie_bw);
+  // 12 MB at PCIe 12 GB/s = 1 ms.
+  EXPECT_NEAR(r.end - r.start, 1e-3 + topo_.cost_model().kernel_launch_latency,
+              1e-5);
+}
+
+TEST_F(GpuDeviceTest, ResetVirtualTimeRewindsStream) {
+  auto noop = [](const KernelCtx&) {};
+  gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  gpu_.ResetVirtualTime();
+  auto r = gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  EXPECT_DOUBLE_EQ(r.start, 0.0);
+}
+
+TEST_F(GpuDeviceTest, DeviceAtomicsAcrossGrid) {
+  std::atomic<int64_t> acc{0};
+  auto kernel = [&](const KernelCtx& ctx) {
+    acc.fetch_add(ctx.thread_id, std::memory_order_relaxed);
+  };
+  constexpr int kGrid = 1000;
+  gpu_.LaunchKernel(kernel, kGrid, 32, 0.0);
+  EXPECT_EQ(acc.load(), kGrid * (kGrid - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hetex::sim

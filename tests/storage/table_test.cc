@@ -1,0 +1,138 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "memory/memory_manager.h"
+#include "sim/topology.h"
+
+namespace hetex::storage {
+namespace {
+
+TEST(Dictionary, OrderPreservingCodes) {
+  Dictionary d({"banana", "apple", "cherry"});
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_LT(d.Code("apple"), d.Code("banana"));
+  EXPECT_LT(d.Code("banana"), d.Code("cherry"));
+  EXPECT_EQ(d.Value(d.Code("banana")), "banana");
+}
+
+TEST(Dictionary, Deduplicates) {
+  Dictionary d({"x", "y", "x"});
+  EXPECT_EQ(d.size(), 2);
+}
+
+TEST(Dictionary, RangeBoundsForStringPredicates) {
+  // The Q2.2-style translation: BETWEEN 'b' AND 'd' -> code range.
+  Dictionary d({"a", "b", "c", "d", "e"});
+  EXPECT_EQ(d.LowerBound("b"), d.Code("b"));
+  EXPECT_EQ(d.UpperBound("d"), d.Code("d") + 1);
+  EXPECT_EQ(d.LowerBound("bb"), d.Code("c"));  // absent value: next code
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : topo_(sim::Topology::Options{}), mem_(topo_) {}
+
+  std::unique_ptr<Table> MakeTable(uint64_t rows) {
+    auto t = std::make_unique<Table>("t");
+    Column* a = t->AddColumn("a", ColType::kInt32);
+    Column* b = t->AddColumn("b", ColType::kInt64);
+    for (uint64_t i = 0; i < rows; ++i) {
+      a->Append(static_cast<int64_t>(i));
+      b->Append(static_cast<int64_t>(i * 10));
+    }
+    return t;
+  }
+
+  sim::Topology topo_;
+  memory::MemoryRegistry mem_;
+};
+
+TEST_F(TableTest, ColumnAccessors) {
+  auto t = MakeTable(10);
+  EXPECT_EQ(t->rows(), 10u);
+  EXPECT_EQ(t->num_columns(), 2);
+  EXPECT_EQ(t->ColumnIndex("b"), 1);
+  EXPECT_EQ(t->column("a").width(), 4u);
+  EXPECT_EQ(t->column("b").width(), 8u);
+  EXPECT_EQ(t->column("b").At(3), 30);
+  EXPECT_EQ(t->column("a").bytes(), 40u);
+}
+
+TEST_F(TableTest, PlaceSplitsRowsAcrossNodes) {
+  auto t = MakeTable(101);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem, topo_.socket(1).mem}, &mem_).ok());
+  ASSERT_TRUE(t->placed());
+  ASSERT_EQ(t->chunks().size(), 2u);
+  EXPECT_EQ(t->chunks()[0].rows + t->chunks()[1].rows, 101u);
+  EXPECT_EQ(t->chunks()[0].node, topo_.socket(0).mem);
+  EXPECT_EQ(t->chunks()[1].node, topo_.socket(1).mem);
+  EXPECT_EQ(t->chunks()[1].row_begin, t->chunks()[0].rows);
+}
+
+TEST_F(TableTest, PlacedDataMatchesStaging) {
+  auto t = MakeTable(100);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem, topo_.socket(1).mem}, &mem_).ok());
+  for (const auto& chunk : t->chunks()) {
+    const auto* a = reinterpret_cast<const int32_t*>(chunk.col_data[0]);
+    const auto* b = reinterpret_cast<const int64_t*>(chunk.col_data[1]);
+    for (uint64_t r = 0; r < chunk.rows; ++r) {
+      EXPECT_EQ(a[r], static_cast<int32_t>(chunk.row_begin + r));
+      EXPECT_EQ(b[r], static_cast<int64_t>((chunk.row_begin + r) * 10));
+    }
+  }
+}
+
+TEST_F(TableTest, RePlaceMovesAndFreesOldChunks) {
+  auto t = MakeTable(50);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem}, &mem_).ok());
+  const uint64_t used_host = mem_.manager(topo_.socket(0).mem).used();
+  EXPECT_GT(used_host, 0u);
+  ASSERT_TRUE(t->Place({topo_.gpu(0).mem}, &mem_).ok());
+  EXPECT_EQ(mem_.manager(topo_.socket(0).mem).used(), 0u);
+  EXPECT_GT(mem_.manager(topo_.gpu(0).mem).used(), 0u);
+  EXPECT_EQ(t->chunks()[0].node, topo_.gpu(0).mem);
+}
+
+TEST_F(TableTest, PlaceFailsWhenCapacityExceeded) {
+  sim::Topology::Options small;
+  small.gpu_capacity = 512;  // tiny device memory
+  sim::Topology topo(small);
+  memory::MemoryRegistry mem(topo);
+  auto t = MakeTable(1000);
+  EXPECT_FALSE(t->Place({topo.gpu(0).mem}, &mem).ok());
+  EXPECT_FALSE(t->placed());
+}
+
+TEST_F(TableTest, PinnedFlagPropagates) {
+  auto t = MakeTable(10);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem}, &mem_, /*pinned=*/false).ok());
+  EXPECT_FALSE(t->pinned());
+}
+
+TEST_F(TableTest, DropStagingKeepsChunks) {
+  auto t = MakeTable(64);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem}, &mem_).ok());
+  t->DropStaging();
+  EXPECT_EQ(t->column("a").rows(), 0u);  // staging gone
+  EXPECT_TRUE(t->placed());
+  EXPECT_EQ(t->chunks()[0].rows, 64u);   // placed data intact
+  EXPECT_EQ(t->column("a").width(), 4u); // schema intact
+}
+
+TEST_F(TableTest, ColumnSetBytes) {
+  auto t = MakeTable(100);
+  EXPECT_EQ(t->ColumnSetBytes({"a"}), 400u);
+  EXPECT_EQ(t->ColumnSetBytes({"a", "b"}), 400u + 800u);
+}
+
+TEST(Catalog, CreateAndLookup) {
+  Catalog catalog;
+  Table* t = catalog.CreateTable("foo");
+  EXPECT_EQ(catalog.Get("foo"), t);
+  EXPECT_EQ(catalog.Get("bar"), nullptr);
+  EXPECT_EQ(&catalog.at("foo"), t);
+}
+
+}  // namespace
+}  // namespace hetex::storage

@@ -1,0 +1,64 @@
+#ifndef HETEX_TESTS_TEST_UTIL_H_
+#define HETEX_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "core/executor.h"
+#include "core/system.h"
+#include "ssb/reference.h"
+#include "ssb/ssb.h"
+
+namespace hetex::test {
+
+/// Small simulated server + tiny SSB database for fast tests.
+struct TestEnv {
+  explicit TestEnv(uint64_t lineorder_rows = 40'000, int sockets = 2, int gpus = 2) {
+    core::System::Options opts;
+    opts.topology.num_sockets = sockets;
+    opts.topology.cores_per_socket = 2;
+    opts.topology.num_gpus = gpus;
+    opts.topology.gpu_sim_threads = 2;
+    opts.topology.host_capacity_per_socket = 4ull << 30;
+    opts.topology.gpu_capacity = 1ull << 30;
+    opts.blocks.block_bytes = 64 << 10;
+    opts.blocks.host_arena_blocks = 256;
+    opts.blocks.gpu_arena_blocks = 128;
+    system = std::make_unique<core::System>(opts);
+
+    ssb::Ssb::Options ssb_opts;
+    ssb_opts.lineorder_rows = lineorder_rows;
+    ssb_opts.scale = 0.002;
+    ssb = std::make_unique<ssb::Ssb>(ssb_opts, &system->catalog());
+    PlaceAllOnHost();
+  }
+
+  void PlaceAllOnHost() {
+    for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+      HETEX_CHECK_OK(
+          system->catalog().at(name).Place(system->HostNodes(), &system->memory()));
+    }
+  }
+
+  core::QueryResult Run(const plan::QuerySpec& spec,
+                        const plan::ExecPolicy& policy) {
+    core::QueryExecutor executor(system.get());
+    return executor.Execute(spec, policy);
+  }
+
+  std::vector<std::vector<int64_t>> Reference(const plan::QuerySpec& spec) {
+    return ssb::ReferenceExecute(spec, system->catalog());
+  }
+
+  /// ExecPolicy with test-friendly block granularity.
+  static plan::ExecPolicy Tune(plan::ExecPolicy policy) {
+    policy.block_rows = 4096;
+    return policy;
+  }
+
+  std::unique_ptr<core::System> system;
+  std::unique_ptr<ssb::Ssb> ssb;
+};
+
+}  // namespace hetex::test
+
+#endif  // HETEX_TESTS_TEST_UTIL_H_
