@@ -1,9 +1,12 @@
 // Plan explorer: prints the heterogeneity-aware plans (the paper's Fig. 1e /
 // Fig. 2b artifacts) that the planner produces for an SSB query under different
-// execution policies, and validates them against the §3.3 converter rules.
+// execution policies, validates them against the §3.3 converter rules, and
+// prints the physical graph GraphBuilder lowers each plan to — so plan and
+// execution shape can be eyeballed for agreement.
 
 #include <cstdio>
 
+#include "core/graph_builder.h"
 #include "core/system.h"
 #include "plan/het_plan.h"
 #include "ssb/ssb.h"
@@ -35,11 +38,20 @@ int main() {
        }) {
     const plan::HetPlan plan = plan::BuildHetPlan(spec, policy, system.topology());
     std::printf("=== %s ===\n%s", label, plan.ToString().c_str());
-    if (policy.use_hetexchange) {
-      const Status st = plan::ValidateHetPlan(plan);
-      std::printf("validation: %s\n\n", st.ToString().c_str());
+    const Status st = plan::ValidateHetPlan(plan);
+    std::printf("validation: %s\n", st.ToString().c_str());
+    if (!st.ok()) {
+      // The executor refuses invalid plans before lowering; mirror that here.
+      std::printf("lowering: skipped (plan failed validation)\n\n");
+      continue;
+    }
+
+    core::GraphBuilder builder(&system, &plan);
+    const Status lowered = builder.Analyze();
+    if (lowered.ok()) {
+      std::printf("%s\n", builder.spec().ToString().c_str());
     } else {
-      std::printf("validation: skipped (bare plans waive the converter rules)\n\n");
+      std::printf("lowering: %s\n\n", lowered.ToString().c_str());
     }
   }
   return 0;

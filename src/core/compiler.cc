@@ -89,10 +89,77 @@ int MakeContiguous(ProgramBuilder& b, const std::vector<int>& regs) {
 
 }  // namespace
 
+const char* PipelineSpan::RoleName(Role role) {
+  switch (role) {
+    case Role::kBuild: return "build";
+    case Role::kFilterStage: return "filter-stage";
+    case Role::kProbe: return "probe";
+    case Role::kGather: return "gather";
+  }
+  return "?";
+}
+
+PipelineSpan ClassifySpan(const plan::HetPlan& plan, std::vector<int> nodes) {
+  using Kind = plan::HetOpNode::Kind;
+  PipelineSpan span;
+  span.nodes = std::move(nodes);
+  HETEX_CHECK(!span.nodes.empty()) << "empty pipeline span";
+  bool has_build = false, has_probe = false, has_gather = false;
+  bool has_hash_pack = false;
+  for (int id : span.nodes) {
+    const plan::HetOpNode& n = plan.node(id);
+    if (!n.placement.empty() && span.instances.empty()) {
+      span.instances = n.placement;
+    }
+    switch (n.kind) {
+      case Kind::kJoinBuild:
+        has_build = true;
+        span.join_id = n.join_id;
+        break;
+      case Kind::kJoinProbe:
+        has_probe = true;
+        break;
+      case Kind::kGather:
+        has_gather = true;
+        break;
+      case Kind::kHashPack:
+        has_hash_pack = true;
+        span.n_buckets = n.n_buckets > 0 ? n.n_buckets : 1;
+        break;
+      default:
+        break;
+    }
+  }
+  // A hash-pack only makes the span a filter stage when no probe runs in it;
+  // a span that probes and hash-packs is still a probe pipeline.
+  span.role = has_build    ? PipelineSpan::Role::kBuild
+              : has_gather ? PipelineSpan::Role::kGather
+              : (has_hash_pack && !has_probe) ? PipelineSpan::Role::kFilterStage
+                                              : PipelineSpan::Role::kProbe;
+  return span;
+}
+
 QueryCompiler::QueryCompiler(const plan::QuerySpec& spec,
                              const storage::Catalog& catalog,
                              const sim::CostModel& cost_model)
     : spec_(&spec), catalog_(&catalog), cost_model_(&cost_model) {}
+
+CompiledPipeline QueryCompiler::CompileSpan(
+    const PipelineSpan& span, const std::vector<ColSlot>* upstream_schema) const {
+  switch (span.role) {
+    case PipelineSpan::Role::kBuild:
+      HETEX_CHECK(span.join_id >= 0) << "build span without a join id stamp";
+      return CompileBuild(span.join_id);
+    case PipelineSpan::Role::kFilterStage:
+      return CompileFilterStage(span.n_buckets);
+    case PipelineSpan::Role::kProbe:
+      return CompileProbe(upstream_schema);
+    case PipelineSpan::Role::kGather:
+      return CompileGather();
+  }
+  HETEX_CHECK(false) << "unreachable span role";
+  return {};
+}
 
 uint64_t QueryCompiler::JoinHtCapacity(int join_id) const {
   const auto& join = spec_->joins.at(join_id);
@@ -148,6 +215,16 @@ CompiledPipeline QueryCompiler::CompileProbe(
   PipelineResolver cols = input_schema == nullptr
                               ? PipelineResolver(&fact, &out.input_cols)
                               : PipelineResolver(*input_schema, &out.input_cols);
+
+  // Stage B consumes packed blocks whose columns arrive in the producer's emit
+  // order, and the runtime binds them to input slots positionally: resolve the
+  // whole schema up front so the slot order matches the wire order (lazy
+  // resolution would reorder by first use and silently bind wrong columns).
+  if (input_schema != nullptr) {
+    for (const auto& slot : *input_schema) {
+      cols.ResolveColumn(slot.name, b);
+    }
+  }
 
   // Filters were already applied by stage A in split plans.
   if (input_schema == nullptr && spec_->fact_filter != nullptr) {

@@ -1,207 +1,37 @@
 #include "core/executor.h"
 
-#include <memory>
-
-#include "common/logging.h"
 #include "common/timer.h"
 #include "core/compiler.h"
-#include "core/processor.h"
-#include "core/runtime.h"
+#include "core/graph_builder.h"
 
 namespace hetex::core {
 
-namespace {
-
-/// Maps a pipeline's input schema to table column indices (segmenter scan order).
-std::vector<int> ScanIndices(const storage::Table& table,
-                             const std::vector<ColSlot>& input_cols) {
-  std::vector<int> indices;
-  indices.reserve(input_cols.size());
-  for (const auto& slot : input_cols) {
-    indices.push_back(table.ColumnIndex(slot.name));
-  }
-  return indices;
-}
-
-ProcessorFactory FactoryFor(const StageConfig* cfg) {
-  return [cfg](WorkerInstance&) { return MakeVmProcessor(cfg); };
-}
-
-}  // namespace
-
 QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec,
                                    const plan::ExecPolicy& policy) {
+  return ExecutePlan(spec,
+                     plan::BuildHetPlan(spec, policy, system_->topology()));
+}
+
+QueryResult QueryExecutor::ExecutePlan(const plan::QuerySpec& spec,
+                                       const plan::HetPlan& plan) {
   Timer timer;
   QueryResult result;
-  sim::Topology& topo = system_->topology();
-  const sim::CostModel& cm = topo.cost_model();
 
   // Each query runs on a fresh virtual timeline (one query at a time).
   system_->ResetVirtualTime();
 
-  const plan::Layout layout = plan::ComputeLayout(policy, topo);
-  const bool bare = !policy.use_hetexchange;
-  const bool bare_gpu = bare && layout.probe_instances[0].is_gpu();
+  // Every plan — heuristic or hand-mutated — passes the §3.3 converter rules
+  // before it is allowed to touch the runtime.
+  result.status = plan::ValidateHetPlan(plan);
+  if (!result.status.ok()) return result;
 
-  const storage::Table* fact = system_->catalog().Get(spec.fact_table);
-  HETEX_CHECK(fact != nullptr && fact->placed())
-      << "fact table missing/unplaced: " << spec.fact_table;
+  GraphBuilder builder(system_, &plan);
+  result.status = builder.Analyze();
+  if (!result.status.ok()) return result;
 
-  QueryCompiler compiler(spec, system_->catalog(), cm);
-  HtRegistry hts;
-  const sim::VTime init_clock =
-      layout.routers_present ? cm.router_init_latency : 0.0;
-
-  Edge::Options default_edge;
-  default_edge.control_cost = bare ? 0.0 : cm.router_control_cost;
-
-  // ------------------------------------------------------------------ builds
-  {
-    struct BuildGraph {
-      std::unique_ptr<StageConfig> cfg;
-      std::unique_ptr<WorkerGroup> group;
-      std::unique_ptr<Edge> edge;
-      std::unique_ptr<SourceDriver> source;
-    };
-    std::vector<BuildGraph> builds;
-    for (int j = 0; j < static_cast<int>(spec.joins.size()); ++j) {
-      const storage::Table* dim = system_->catalog().Get(spec.joins[j].build_table);
-      HETEX_CHECK(dim != nullptr && dim->placed())
-          << "dimension table missing/unplaced: " << spec.joins[j].build_table;
-
-      BuildGraph g;
-      g.cfg = std::make_unique<StageConfig>();
-      g.cfg->role = StageConfig::Role::kBuild;
-      g.cfg->pipeline = compiler.CompileBuild(j);
-      g.cfg->hts = &hts;
-      g.cfg->build_join_id = j;
-      g.cfg->build_capacity = compiler.JoinHtCapacity(j);
-      g.cfg->build_payload_width = compiler.JoinPayloadWidth(j);
-      g.cfg->allow_uva = bare_gpu;
-      g.cfg->uva_bw = cm.pcie_bw;
-      g.cfg->block_bytes = system_->blocks().options().block_bytes;
-
-      g.group = std::make_unique<WorkerGroup>(
-          system_, layout.build_units, FactoryFor(g.cfg.get()), nullptr,
-          policy.channel_capacity, init_clock);
-
-      Edge::Options opts = default_edge;
-      opts.policy = Edge::Policy::kBroadcast;
-      opts.mem_move = !bare_gpu;  // UVA mode addresses host data directly
-      g.edge = std::make_unique<Edge>(system_, opts, g.group->instance_ptrs());
-
-      g.source = std::make_unique<SourceDriver>(
-          system_, dim, ScanIndices(*dim, g.cfg->pipeline.input_cols),
-          policy.block_rows, g.edge.get(), init_clock, cm.segmenter_block_cost);
-      builds.push_back(std::move(g));
-    }
-    for (auto& g : builds) g.group->Start();
-    for (auto& g : builds) g.source->Start();
-    for (auto& g : builds) g.source->Join();
-    for (auto& g : builds) g.group->Join();
-    for (auto& g : builds) result.stats.Add(g.group->total_stats());
-  }
-
-  const sim::VTime probe_start = sim::MaxT(init_clock, hts.build_done());
-
-  // ------------------------------------------------------------------- probe
-  ResultSink sink;
-
-  StageConfig gather_cfg;
-  gather_cfg.role = StageConfig::Role::kGather;
-  gather_cfg.pipeline = compiler.CompileGather();
-  gather_cfg.hts = &hts;
-  gather_cfg.result = &sink;
-  gather_cfg.block_bytes = system_->blocks().options().block_bytes;
-  WorkerGroup gather_group(system_, {sim::DeviceId::Cpu(layout.gather_socket)},
-                           FactoryFor(&gather_cfg), nullptr,
-                           policy.channel_capacity, probe_start);
-
-  Edge::Options partial_opts = default_edge;
-  partial_opts.policy = Edge::Policy::kRoundRobin;  // union: single consumer
-  partial_opts.mem_move = true;
-  partial_opts.crossing_latency = layout.has_gpu ? cm.task_spawn_latency : 0.0;
-  Edge partials_edge(system_, partial_opts, gather_group.instance_ptrs());
-
-  StageConfig probe_cfg;
-  probe_cfg.role = StageConfig::Role::kProbe;
-  probe_cfg.hts = &hts;
-  probe_cfg.out = &partials_edge;
-  probe_cfg.allow_uva = bare_gpu;
-  probe_cfg.uva_bw = cm.pcie_bw;
-  probe_cfg.block_bytes = system_->blocks().options().block_bytes;
-
-  // Split plans: stage A (filter + hash-pack) feeds stage B over a hash router.
-  std::unique_ptr<StageConfig> filter_cfg;
-  CompiledPipeline filter_pipeline;
-  if (policy.split_probe_stage) {
-    const int buckets = policy.hash_router_buckets > 0
-                            ? policy.hash_router_buckets
-                            : static_cast<int>(layout.probe_instances.size());
-    filter_pipeline = compiler.CompileFilterStage(buckets);
-    probe_cfg.pipeline = compiler.CompileProbe(&filter_pipeline.output_cols);
-  } else {
-    probe_cfg.pipeline = compiler.CompileProbe(nullptr);
-  }
-
-  WorkerGroup probe_group(system_, layout.probe_instances, FactoryFor(&probe_cfg),
-                          &partials_edge, policy.channel_capacity, probe_start);
-
-  Edge::Options fact_opts = default_edge;
-  fact_opts.policy = policy.load_balance && !bare ? Edge::Policy::kLoadBalance
-                                                  : Edge::Policy::kRoundRobin;
-  fact_opts.mem_move = !bare_gpu;
-
-  std::unique_ptr<Edge> fact_edge;          // feeds the first fact stage
-  std::unique_ptr<Edge> hash_edge;          // split mode: stage A -> stage B
-  std::unique_ptr<WorkerGroup> filter_group;
-  if (policy.split_probe_stage) {
-    Edge::Options hash_opts = default_edge;
-    hash_opts.policy = Edge::Policy::kHash;
-    hash_opts.mem_move = true;
-    hash_edge = std::make_unique<Edge>(system_, hash_opts,
-                                       probe_group.instance_ptrs());
-
-    filter_cfg = std::make_unique<StageConfig>();
-    filter_cfg->role = StageConfig::Role::kFilterStage;
-    filter_cfg->pipeline = std::move(filter_pipeline);
-    filter_cfg->hts = &hts;
-    filter_cfg->out = hash_edge.get();
-    filter_cfg->n_buckets = hash_edge->num_consumers();
-    filter_cfg->block_bytes = system_->blocks().options().block_bytes;
-    filter_group = std::make_unique<WorkerGroup>(
-        system_, layout.probe_instances, FactoryFor(filter_cfg.get()),
-        hash_edge.get(), policy.channel_capacity, probe_start);
-    fact_edge =
-        std::make_unique<Edge>(system_, fact_opts, filter_group->instance_ptrs());
-  } else {
-    fact_edge =
-        std::make_unique<Edge>(system_, fact_opts, probe_group.instance_ptrs());
-  }
-
-  SourceDriver fact_source(system_, fact,
-                           ScanIndices(*fact, policy.split_probe_stage
-                                                  ? filter_cfg->pipeline.input_cols
-                                                  : probe_cfg.pipeline.input_cols),
-                           policy.block_rows, fact_edge.get(), probe_start,
-                           cm.segmenter_block_cost);
-
-  gather_group.Start();
-  probe_group.Start();
-  if (filter_group != nullptr) filter_group->Start();
-  fact_source.Start();
-
-  fact_source.Join();
-  if (filter_group != nullptr) filter_group->Join();
-  probe_group.Join();
-  gather_group.Join();
-
-  result.rows = sink.TakeRows();
-  result.modeled_seconds = sim::MaxT(sink.done_at(), gather_group.max_end());
+  QueryCompiler compiler(spec, system_->catalog(), system_->cost_model());
+  result.status = builder.Run(&compiler, &result);
   result.wall_seconds = timer.ElapsedSeconds();
-  result.stats.Add(probe_group.total_stats());
-  if (filter_group != nullptr) result.stats.Add(filter_group->total_stats());
-  result.stats.Add(gather_group.total_stats());
 
   system_->blocks().FlushReleases();
   return result;

@@ -22,18 +22,25 @@ struct QueryResult {
   sim::CostStats stats;            ///< aggregate work counters
 };
 
-/// \brief Compiles and runs queries on a System under an ExecPolicy.
+/// \brief Thin orchestrator: plan → validate → lower → run → collect.
 ///
-/// Orchestration follows the paper's phased pipeline networks: all join-build
-/// graphs run concurrently (they are independent star-schema dimensions), then the
-/// fused probe graph runs, with instance virtual clocks starting at the build
-/// completion watermark. Routers, mem-moves, device crossings and pack/unpack all
-/// live on the edges between worker groups.
+/// The executor owns no knowledge of the execution shape. BuildHetPlan produces
+/// the heterogeneity-aware DAG (with every placement/DOP/cost parameter stamped
+/// on its nodes), ValidateHetPlan enforces the §3.3 converter rules, and
+/// GraphBuilder lowers the validated DAG into SourceDrivers, Edges and
+/// WorkerGroups. Any plan failing validation or lowering surfaces through
+/// QueryResult::status instead of executing.
 class QueryExecutor {
  public:
   explicit QueryExecutor(System* system) : system_(system) {}
 
+  /// Plans `spec` under `policy`, then runs the plan (ExecutePlan).
   QueryResult Execute(const plan::QuerySpec& spec, const plan::ExecPolicy& policy);
+
+  /// Runs a pre-built — possibly hand-mutated — heterogeneity-aware plan.
+  /// Changing the plan (router policies, placements, block granularity) changes
+  /// the execution without any engine code change.
+  QueryResult ExecutePlan(const plan::QuerySpec& spec, const plan::HetPlan& plan);
 
  private:
   System* system_;

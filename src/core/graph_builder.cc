@@ -1,0 +1,557 @@
+#include "core/graph_builder.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/processor.h"
+
+namespace hetex::core {
+
+namespace {
+
+using Kind = plan::HetOpNode::Kind;
+
+/// Operators executed inside a worker pipeline (spans).
+bool IsSpanKind(Kind k) {
+  return k == Kind::kUnpack || k == Kind::kPack || k == Kind::kHashPack ||
+         k == Kind::kFilter || k == Kind::kProject || k == Kind::kJoinBuild ||
+         k == Kind::kJoinProbe || k == Kind::kReduceLocal ||
+         k == Kind::kGroupByLocal || k == Kind::kGather;
+}
+
+/// Operators lowered onto edges (and the segmenter, lowered to a SourceDriver).
+bool IsTransportKind(Kind k) {
+  return k == Kind::kRouter || k == Kind::kMemMove || k == Kind::kCpu2Gpu ||
+         k == Kind::kGpu2Cpu || k == Kind::kSegmenter;
+}
+
+/// Exchange decoration: converters that ride on an edge rather than in a span.
+bool IsDecorationKind(Kind k) {
+  return k == Kind::kMemMove || k == Kind::kCpu2Gpu || k == Kind::kGpu2Cpu;
+}
+
+/// A pack marks the producer side of an exchange: walking consumer→producer,
+/// reaching one starts a new span even when no transport operator separates
+/// them (bare plans route partials straight from pack to gather).
+bool IsProducerTop(Kind k) { return k == Kind::kPack || k == Kind::kHashPack; }
+
+Edge::Policy LowerPolicy(plan::RouterPolicy policy) {
+  switch (policy) {
+    case plan::RouterPolicy::kRoundRobin: return Edge::Policy::kRoundRobin;
+    case plan::RouterPolicy::kLoadBalance: return Edge::Policy::kLoadBalance;
+    case plan::RouterPolicy::kHash: return Edge::Policy::kHash;
+    case plan::RouterPolicy::kBroadcast: return Edge::Policy::kBroadcast;
+    // A union funnels every producer into the single downstream instance set;
+    // with one consumer per message the rotation is immaterial.
+    case plan::RouterPolicy::kUnion: return Edge::Policy::kRoundRobin;
+  }
+  return Edge::Policy::kRoundRobin;
+}
+
+const char* PolicyName(Edge::Policy policy) {
+  switch (policy) {
+    case Edge::Policy::kRoundRobin: return "round-robin";
+    case Edge::Policy::kLoadBalance: return "load-balance";
+    case Edge::Policy::kHash: return "hash";
+    case Edge::Policy::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+ProcessorFactory FactoryFor(const StageConfig* cfg) {
+  return [cfg](WorkerInstance&) { return MakeVmProcessor(cfg); };
+}
+
+}  // namespace
+
+int LoweredSpec::TotalInstances() const {
+  int total = 0;
+  for (const auto& s : build_stages) total += static_cast<int>(s.instances.size());
+  for (const auto& s : fact_stages) total += static_cast<int>(s.instances.size());
+  return total;
+}
+
+int LoweredSpec::TotalEdges() const {
+  return static_cast<int>(build_stages.size() + fact_stages.size());
+}
+
+std::string LoweredSpec::ToString() const {
+  std::ostringstream os;
+  os << "lowered graph: " << build_stages.size() << " build stage(s), "
+     << fact_stages.size() << " fact stage(s), " << TotalInstances()
+     << " instance(s)\n";
+  auto print_stage = [&os](const StageSpec& stage, const char* label) {
+    os << label << " " << PipelineSpan::RoleName(stage.span.role);
+    if (stage.span.role == PipelineSpan::Role::kBuild) {
+      os << " ht[" << stage.span.join_id << "]";
+    }
+    os << " x" << stage.instances.size() << " [";
+    for (size_t i = 0; i < stage.instances.size(); ++i) {
+      os << (i ? " " : "") << stage.instances[i].ToString();
+    }
+    os << "]\n";
+    os << "  edge: policy=" << PolicyName(stage.in.options.policy)
+       << (stage.in.options.mem_move ? " mem-move" : " no-mem-move")
+       << (stage.in.uva ? " uva" : "");
+    if (stage.in.options.crossing_latency > 0) {
+      os << " crossing=" << stage.in.options.crossing_latency;
+    }
+    os << " control=" << stage.in.options.control_cost << "\n";
+  };
+  for (const auto& stage : build_stages) print_stage(stage, "build stage:");
+  for (const auto& stage : fact_stages) print_stage(stage, "fact stage:");
+  return os.str();
+}
+
+Status GraphBuilder::Analyze() {
+  spec_ = LoweredSpec{};
+  const plan::HetPlan& plan = *plan_;
+  if (plan.root < 0 || plan.root >= static_cast<int>(plan.nodes.size())) {
+    return Status::InvalidArgument("plan has no root node");
+  }
+  spec_.channel_capacity = plan.channel_capacity;
+  for (const auto& n : plan.nodes) {
+    if (n.kind == Kind::kRouter) {
+      spec_.init_latency = sim::MaxT(spec_.init_latency, n.init_latency);
+    }
+  }
+
+  std::vector<int> build_tops;  // kJoinBuild span tops, discovery order
+  std::unordered_set<int> seen_build_tops;
+
+  // Walks consumer→producer from `top` collecting one pipeline span; stops at
+  // the first transport operator or producer-side pack, which becomes `feed`.
+  auto collect_span = [&](int top, std::vector<int>* nodes, int* feed) -> Status {
+    int cur = top;
+    while (true) {
+      const plan::HetOpNode& n = plan.node(cur);
+      if (!IsSpanKind(n.kind)) {
+        return Status::Internal(std::string("pipeline span contains operator ") +
+                                plan::HetOpNode::KindName(n.kind));
+      }
+      nodes->push_back(cur);
+      if (nodes->size() > plan.nodes.size()) {
+        return Status::Internal("pipeline span does not terminate (plan cycle)");
+      }
+      if (n.kind == Kind::kJoinProbe) {
+        // Build-side children are separate pipeline networks.
+        for (size_t c = 1; c < n.children.size(); ++c) {
+          if (seen_build_tops.insert(n.children[c]).second) {
+            build_tops.push_back(n.children[c]);
+          }
+        }
+      }
+      if (n.children.empty()) {
+        return Status::Internal("pipeline span reaches a leaf without a source");
+      }
+      const int child = n.children[0];
+      const Kind ck = plan.node(child).kind;
+      if (IsTransportKind(ck) || IsProducerTop(ck)) {
+        *feed = child;
+        return Status::OK();
+      }
+      cur = child;
+    }
+  };
+
+  // Walks one decoration chain (mem-move / device crossings) to its exchange
+  // terminal (router, segmenter or producer pack), harvesting the UVA marker
+  // and crossing latency into `e` when given. Returns -1 on a dangling chain
+  // or cycle. The single walker keeps the consumer-side, producer-side and
+  // grouping passes from diverging on what decoration means.
+  auto walk_decoration = [&](int from, EdgeSpec* e) -> int {
+    int cur = from;
+    size_t steps = 0;
+    while (IsDecorationKind(plan.node(cur).kind)) {
+      const plan::HetOpNode& n = plan.node(cur);
+      if (e != nullptr) {
+        if (n.kind == Kind::kCpu2Gpu) {
+          if (plan::IsUvaCrossing(n)) e->uva = true;
+        } else if (n.kind == Kind::kGpu2Cpu) {
+          e->options.crossing_latency =
+              std::max(e->options.crossing_latency, n.crossing_latency);
+        }  // kMemMove: locality is restored on every non-UVA edge regardless
+      }
+      if (n.children.empty() || ++steps > plan.nodes.size()) return -1;
+      cur = n.children[0];
+    }
+    return cur;
+  };
+  auto terminal_of = [&](int feed) -> int { return walk_decoration(feed, nullptr); };
+
+  // Lowers the exchange below a stage's branch spans (`feeds`: one entry per
+  // branch) into an EdgeSpec: consumer-side decoration → shared router →
+  // producer-side decoration → producer span tops / source segmenter.
+  auto parse_feed = [&](const std::vector<int>& feeds, EdgeSpec* e) -> Status {
+    for (int feed : feeds) {
+      const int cur = walk_decoration(feed, e);
+      if (cur < 0) {
+        return Status::Internal("dangling or cyclic exchange decoration");
+      }
+      const plan::HetOpNode& n = plan.node(cur);
+      if (n.kind == Kind::kRouter) {
+        if (e->router != -1 && e->router != cur) {
+          return Status::Internal("stage branches fed by different routers");
+        }
+        e->router = cur;
+      } else if (n.kind == Kind::kSegmenter) {
+        // Bare plan: the source feeds the span directly.
+        if (e->segmenter != -1 && e->segmenter != cur) {
+          return Status::Internal("exchange fed by multiple segmenters");
+        }
+        e->segmenter = cur;
+      } else if (IsProducerTop(n.kind)) {
+        e->producer_tops.push_back(cur);
+      } else {
+        return Status::Internal(std::string("span fed by non-exchange operator ") +
+                                plan::HetOpNode::KindName(n.kind));
+      }
+    }
+
+    if (e->router != -1) {
+      const plan::HetOpNode& r = plan.node(e->router);
+      e->options.policy = LowerPolicy(r.policy);
+      e->options.control_cost = r.control_cost;
+      for (int child : r.children) {
+        const int cur = walk_decoration(child, e);
+        if (cur < 0) {
+          return Status::Internal("dangling or cyclic exchange decoration");
+        }
+        const plan::HetOpNode& n = plan.node(cur);
+        if (n.kind == Kind::kSegmenter) {
+          if (e->segmenter != -1 && e->segmenter != cur) {
+            return Status::Internal("exchange fed by multiple segmenters");
+          }
+          e->segmenter = cur;
+        } else if (IsSpanKind(n.kind)) {
+          e->producer_tops.push_back(cur);
+        } else {
+          return Status::Internal(
+              std::string("router fed by non-pipeline operator ") +
+              plan::HetOpNode::KindName(n.kind));
+        }
+      }
+    } else {
+      e->options.policy = Edge::Policy::kRoundRobin;
+      e->options.control_cost = 0;
+    }
+    if (e->segmenter != -1 && !e->producer_tops.empty()) {
+      return Status::Internal("exchange mixes a segmenter with pipeline producers");
+    }
+    // Relational operators are data-location agnostic: every exchange fixes
+    // locality on the consumer side unless the plan opted into UVA addressing.
+    e->options.mem_move = !e->uva;
+    return Status::OK();
+  };
+
+  auto make_stage = [&](std::vector<std::vector<int>> branch_nodes, EdgeSpec in,
+                        StageSpec* out) -> Status {
+    for (size_t i = 0; i < branch_nodes.size(); ++i) {
+      PipelineSpan span = ClassifySpan(plan, branch_nodes[i]);
+      if (span.instances.empty()) {
+        return Status::Internal("pipeline span without a placement stamp");
+      }
+      if (i > 0 && (span.role != out->span.role ||
+                    span.join_id != out->span.join_id ||
+                    span.n_buckets != out->span.n_buckets)) {
+        // Merged branches compile from branch 0's span; inconsistent stamps
+        // would be silently ignored, so reject them instead.
+        return Status::Internal("exchange feeds inconsistently stamped spans");
+      }
+      out->instances.insert(out->instances.end(), span.instances.begin(),
+                            span.instances.end());
+      if (i == 0) out->span = std::move(span);
+    }
+    out->branch_nodes = std::move(branch_nodes);
+    out->in = std::move(in);
+    return Status::OK();
+  };
+
+  // --- Fact-side chain: from the result node down to the fact segmenter.
+  const plan::HetOpNode& root = plan.node(plan.root);
+  if (root.kind != Kind::kResult || root.children.size() != 1) {
+    return Status::InvalidArgument("plan root must be a single-input result node");
+  }
+  std::vector<int> tops = {root.children[0]};
+  while (true) {
+    // A cycle through an exchange re-discovers the same producer tops forever;
+    // a legal chain cannot have more stages than the plan has nodes.
+    if (spec_.fact_stages.size() > plan.nodes.size()) {
+      return Status::Internal("fact chain does not terminate (plan cycle)");
+    }
+    std::vector<std::vector<int>> branch_nodes;
+    std::vector<int> feeds;
+    for (int top : tops) {
+      std::vector<int> nodes;
+      int feed = -1;
+      Status st = collect_span(top, &nodes, &feed);
+      if (!st.ok()) return st;
+      branch_nodes.push_back(std::move(nodes));
+      feeds.push_back(feed);
+    }
+    EdgeSpec in;
+    Status st = parse_feed(feeds, &in);
+    if (!st.ok()) return st;
+    StageSpec stage;
+    st = make_stage(std::move(branch_nodes), std::move(in), &stage);
+    if (!st.ok()) return st;
+
+    const bool at_source = stage.in.segmenter != -1;
+    std::vector<int> next = stage.in.producer_tops;
+    spec_.fact_stages.push_back(std::move(stage));
+    if (at_source) break;
+    if (next.empty()) return Status::Internal("exchange with no producers");
+    tops = std::move(next);
+  }
+  if (spec_.fact_stages.front().span.role != PipelineSpan::Role::kGather) {
+    return Status::Internal("fact chain must terminate in a gather stage");
+  }
+
+  // --- Build networks: group the kJoinBuild spans by their feeding exchange
+  // (all per-unit replicas of one join share its broadcast router).
+  struct BuildGroup {
+    std::vector<std::vector<int>> branch_nodes;
+    std::vector<int> feeds;
+  };
+  std::vector<int> group_keys;
+  std::unordered_map<int, BuildGroup> by_key;
+  for (int top : build_tops) {
+    std::vector<int> nodes;
+    int feed = -1;
+    Status st = collect_span(top, &nodes, &feed);
+    if (!st.ok()) return st;
+    const int key = terminal_of(feed);
+    if (key < 0) return Status::Internal("build span with a dangling feed");
+    if (by_key.find(key) == by_key.end()) group_keys.push_back(key);
+    BuildGroup& g = by_key[key];
+    g.branch_nodes.push_back(std::move(nodes));
+    g.feeds.push_back(feed);
+  }
+  for (int key : group_keys) {
+    BuildGroup& g = by_key[key];
+    EdgeSpec in;
+    Status st = parse_feed(g.feeds, &in);
+    if (!st.ok()) return st;
+    StageSpec stage;
+    st = make_stage(std::move(g.branch_nodes), std::move(in), &stage);
+    if (!st.ok()) return st;
+    if (stage.span.role != PipelineSpan::Role::kBuild) {
+      return Status::Internal("join-probe child span is not a build pipeline");
+    }
+    if (stage.in.segmenter == -1) {
+      return Status::Internal("build stage without a source segmenter");
+    }
+    spec_.build_stages.push_back(std::move(stage));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One instantiated stage: the worker group plus the edge (and possibly the
+/// source driver) feeding it. Declaration order matters for destruction.
+struct RuntimeStage {
+  std::unique_ptr<StageConfig> cfg;
+  std::unique_ptr<WorkerGroup> group;
+  std::unique_ptr<Edge> edge;
+  std::unique_ptr<SourceDriver> source;
+};
+
+}  // namespace
+
+Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
+  const plan::HetPlan& plan = *plan_;
+  const sim::CostModel& cm = system_->topology().cost_model();
+  if (spec_.fact_stages.empty()) {
+    return Status::Internal("lowered graph has no fact stages (Analyze not run?)");
+  }
+
+  HtRegistry hts;
+  ResultSink sink;
+  const sim::VTime init_clock = spec_.init_latency;
+  const uint64_t block_bytes = system_->blocks().options().block_bytes;
+  const size_t channel_capacity = static_cast<size_t>(spec_.channel_capacity);
+
+  auto make_config = [&](const StageSpec& stage) {
+    auto cfg = std::make_unique<StageConfig>();
+    switch (stage.span.role) {
+      case PipelineSpan::Role::kBuild:
+        cfg->role = StageConfig::Role::kBuild;
+        cfg->build_join_id = stage.span.join_id;
+        cfg->build_capacity = compiler->JoinHtCapacity(stage.span.join_id);
+        cfg->build_payload_width = compiler->JoinPayloadWidth(stage.span.join_id);
+        break;
+      case PipelineSpan::Role::kFilterStage:
+        cfg->role = StageConfig::Role::kFilterStage;
+        break;
+      case PipelineSpan::Role::kProbe:
+        cfg->role = StageConfig::Role::kProbe;
+        break;
+      case PipelineSpan::Role::kGather:
+        cfg->role = StageConfig::Role::kGather;
+        cfg->result = &sink;
+        break;
+    }
+    cfg->hts = &hts;
+    cfg->block_bytes = block_bytes;
+    cfg->allow_uva = stage.in.uva;
+    cfg->uva_bw = cm.pcie_bw;
+    return cfg;
+  };
+
+  auto make_source = [&](const StageSpec& stage, const StageConfig& cfg,
+                         Edge* edge, sim::VTime clock,
+                         std::unique_ptr<SourceDriver>* out) -> Status {
+    const plan::HetOpNode& seg = plan.node(stage.in.segmenter);
+    const storage::Table* table = system_->catalog().Get(seg.table);
+    if (table == nullptr || !table->placed()) {
+      return Status::NotFound("source table missing or unplaced: " + seg.table);
+    }
+    std::vector<int> indices;
+    indices.reserve(cfg.pipeline.input_cols.size());
+    for (const auto& slot : cfg.pipeline.input_cols) {
+      const int idx = table->FindColumn(slot.name);
+      if (idx < 0) {
+        // Hand-mutated plans can retarget a segmenter at the wrong table;
+        // surface the mismatch instead of aborting inside the scan.
+        return Status::InvalidArgument("segmenter table '" + seg.table +
+                                       "' lacks pipeline input column '" +
+                                       slot.name + "'");
+      }
+      indices.push_back(idx);
+    }
+    const uint64_t block_rows = seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
+    *out = std::make_unique<SourceDriver>(system_, table, std::move(indices),
+                                          block_rows, edge, clock,
+                                          seg.per_block_cost);
+    return Status::OK();
+  };
+
+  // ------------------------------------------------------------------- builds
+  {
+    std::vector<RuntimeStage> builds;
+    for (const StageSpec& stage : spec_.build_stages) {
+      // Hand-mutated plans reach here through ExecutePlan: a stamped join id
+      // the query does not have must surface as a Status, not a crash.
+      if (stage.span.join_id < 0 ||
+          stage.span.join_id >=
+              static_cast<int>(compiler->spec().joins.size())) {
+        return Status::InvalidArgument(
+            "build span stamped with join id " +
+            std::to_string(stage.span.join_id) + " but the query has " +
+            std::to_string(compiler->spec().joins.size()) + " join(s)");
+      }
+      RuntimeStage rt;
+      rt.cfg = make_config(stage);
+      rt.cfg->pipeline = compiler->CompileSpan(stage.span, nullptr);
+      rt.group = std::make_unique<WorkerGroup>(
+          system_, stage.instances, FactoryFor(rt.cfg.get()), nullptr,
+          channel_capacity, init_clock);
+      rt.edge = std::make_unique<Edge>(system_, stage.in.options,
+                                       rt.group->instance_ptrs());
+      Status st = make_source(stage, *rt.cfg, rt.edge.get(), init_clock,
+                              &rt.source);
+      if (!st.ok()) return st;
+      builds.push_back(std::move(rt));
+    }
+    for (auto& g : builds) g.group->Start();
+    for (auto& g : builds) g.source->Start();
+    for (auto& g : builds) g.source->Join();
+    for (auto& g : builds) g.group->Join();
+    for (auto& g : builds) result->stats.Add(g.group->total_stats());
+  }
+
+  // Probe-side clocks start at the hash-table completion watermark.
+  const sim::VTime probe_start = sim::MaxT(init_clock, hts.build_done());
+
+  // -------------------------------------------------------------- fact stages
+  // Pipelines compile producer→consumer so a stage can read its producer's emit
+  // schema (stage B of split plans reads stage A's surviving columns). Wire
+  // schemas bind positionally, so chains we cannot thread a schema through are
+  // rejected here instead of silently misbinding columns.
+  const int n_fact = static_cast<int>(spec_.fact_stages.size());
+  std::vector<CompiledPipeline> pipelines(n_fact);
+  for (int i = n_fact - 1; i >= 0; --i) {
+    const PipelineSpan::Role role = spec_.fact_stages[i].span.role;
+    const PipelineSpan::Role* producer =
+        i + 1 < n_fact ? &spec_.fact_stages[i + 1].span.role : nullptr;
+    const std::vector<ColSlot>* upstream = nullptr;
+    switch (role) {
+      case PipelineSpan::Role::kProbe:
+        if (producer != nullptr) {
+          if (*producer != PipelineSpan::Role::kFilterStage) {
+            return Status::Unsupported(
+                "probe stage fed by a packed producer whose wire schema the "
+                "compiler cannot thread (only filter-stage producers supported)");
+          }
+          upstream = &pipelines[i + 1].output_cols;
+        }
+        break;
+      case PipelineSpan::Role::kFilterStage:
+        if (producer != nullptr) {
+          return Status::Unsupported(
+              "filter stage must read its source table directly");
+        }
+        break;
+      case PipelineSpan::Role::kGather:
+        if (producer != nullptr && *producer != PipelineSpan::Role::kProbe) {
+          return Status::Unsupported(
+              "gather stage must consume probe partials");
+        }
+        break;
+      case PipelineSpan::Role::kBuild:
+        return Status::Internal("build span on the fact chain");
+    }
+    pipelines[i] = compiler->CompileSpan(spec_.fact_stages[i].span, upstream);
+  }
+
+  // Instantiation runs consumer→producer: each group needs its downstream edge,
+  // each edge needs its consumer group's instances.
+  std::vector<RuntimeStage> stages;
+  Edge* downstream = nullptr;
+  for (size_t i = 0; i < spec_.fact_stages.size(); ++i) {
+    const StageSpec& stage = spec_.fact_stages[i];
+    RuntimeStage rt;
+    rt.cfg = make_config(stage);
+    rt.cfg->pipeline = std::move(pipelines[i]);
+    rt.cfg->out = downstream;
+    if (stage.span.role == PipelineSpan::Role::kFilterStage &&
+        downstream != nullptr) {
+      rt.cfg->n_buckets = downstream->num_consumers();
+    }
+    rt.group = std::make_unique<WorkerGroup>(
+        system_, stage.instances, FactoryFor(rt.cfg.get()), downstream,
+        channel_capacity, probe_start);
+    rt.edge = std::make_unique<Edge>(system_, stage.in.options,
+                                     rt.group->instance_ptrs());
+    downstream = rt.edge.get();
+    if (stage.in.segmenter != -1) {
+      Status st = make_source(stage, *rt.cfg, rt.edge.get(), probe_start,
+                              &rt.source);
+      if (!st.ok()) return st;
+    }
+    stages.push_back(std::move(rt));
+  }
+
+  for (auto& rt : stages) rt.group->Start();
+  for (auto& rt : stages) {
+    if (rt.source != nullptr) rt.source->Start();
+  }
+  for (auto& rt : stages) {
+    if (rt.source != nullptr) rt.source->Join();
+  }
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) it->group->Join();
+
+  result->rows = sink.TakeRows();
+  result->modeled_seconds =
+      sim::MaxT(sink.done_at(), stages.front().group->max_end());
+  for (auto& rt : stages) result->stats.Add(rt.group->total_stats());
+  return Status::OK();
+}
+
+}  // namespace hetex::core

@@ -1,0 +1,93 @@
+#ifndef HETEX_CORE_GRAPH_BUILDER_H_
+#define HETEX_CORE_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compiler.h"
+#include "core/executor.h"
+#include "core/runtime.h"
+#include "plan/het_plan.h"
+
+namespace hetex::core {
+
+/// \brief Transport between pipeline spans: one HetPlan exchange (router plus
+/// its mem-move / device-crossing converter decoration) lowered to Edge options,
+/// or a direct segmenter feed in bare (no-HetExchange) plans.
+struct EdgeSpec {
+  int router = -1;      ///< plan node id of the kRouter (-1: bare direct feed)
+  int segmenter = -1;   ///< plan node id of the kSegmenter feeding this edge
+  Edge::Options options;
+  bool uva = false;     ///< consumers address producer memory over UVA
+  std::vector<int> producer_tops;  ///< top plan nodes of the producer spans
+};
+
+/// \brief One runtime stage: a worker group (the merged, identically-programmed
+/// spans of every device-type branch fed by the same exchange) plus the edge —
+/// and possibly the source driver — feeding it.
+struct StageSpec {
+  PipelineSpan span;                    ///< representative span (first branch)
+  std::vector<std::vector<int>> branch_nodes;  ///< per-branch span node chains
+  std::vector<sim::DeviceId> instances;        ///< concatenated branch placements
+  EdgeSpec in;
+};
+
+/// \brief The physical-graph description lowered from a validated HetPlan:
+/// what GraphBuilder instantiates and what plan_explorer prints.
+struct LoweredSpec {
+  /// Join-build stages, each a self-contained source→edge→group graph. They all
+  /// run concurrently (independent star-schema dimensions) before the fact side.
+  std::vector<StageSpec> build_stages;
+  /// Fact-side stages in consumer→producer order: gather first, then the probe
+  /// stage, then (split plans) the filter stage; the last one is segmenter-fed.
+  std::vector<StageSpec> fact_stages;
+  sim::VTime init_latency = 0;    ///< router bring-up watermark (max over stamps)
+  uint64_t channel_capacity = 16;
+
+  int TotalInstances() const;
+  int TotalEdges() const;
+  std::string ToString() const;
+};
+
+/// \brief Lowers a validated HetPlan into the runtime graph and runs it.
+///
+/// This is the paper's encapsulation contract made executable: the plan — not
+/// the engine — decides the execution shape. Analyze() partitions the DAG into
+/// pipeline spans and exchange edges using only the operators and the parameters
+/// BuildHetPlan stamped on them; Run() instantiates SourceDrivers, Edges and
+/// WorkerGroups from that spec and orchestrates the phased execution (builds
+/// concurrently, then the fact graph gated on the hash-table watermark). Any
+/// plan shape whose spans classify — split filter/probe stages, per-edge
+/// policy/placement/granularity mutations — runs without executor changes.
+///
+/// Scope: the plan governs the *exchange* level (stage structure, placements,
+/// DOP, edge policies, block granularity, costs). The relational content of a
+/// span is compiled from the QuerySpec by role (CompileSpan), so mutating
+/// individual relational nodes inside a span (e.g. deleting a kFilter) does
+/// not change the generated pipeline.
+class GraphBuilder {
+ public:
+  GraphBuilder(System* system, const plan::HetPlan* plan)
+      : system_(system), plan_(plan) {}
+
+  /// Partitions the plan DAG into the lowered spec. Fails (rather than CHECKs)
+  /// on shapes the runtime cannot instantiate, so callers can surface the
+  /// Status in QueryResult.
+  Status Analyze();
+
+  const LoweredSpec& spec() const { return spec_; }
+
+  /// Instantiates the runtime objects from the analyzed spec and executes the
+  /// query, filling `result` (rows, modeled/virtual time, work stats).
+  Status Run(QueryCompiler* compiler, QueryResult* result);
+
+ private:
+  System* system_;
+  const plan::HetPlan* plan_;
+  LoweredSpec spec_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_GRAPH_BUILDER_H_

@@ -75,6 +75,17 @@ Layout ComputeLayout(const ExecPolicy& policy, const sim::Topology& topo) {
   return layout;
 }
 
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "round-robin";
+    case RouterPolicy::kLoadBalance: return "load-balance";
+    case RouterPolicy::kHash: return "hash";
+    case RouterPolicy::kBroadcast: return "broadcast";
+    case RouterPolicy::kUnion: return "union";
+  }
+  return "?";
+}
+
 const char* HetOpNode::KindName(Kind kind) {
   switch (kind) {
     case Kind::kSegmenter: return "segmenter";
@@ -128,7 +139,17 @@ void PrintNode(const HetPlan& plan, int id, int depth,
                                                     : "gpu");
   if (n.dop != 1) os << " x" << n.dop;
   os << "]";
-  if (!n.detail.empty()) os << " " << n.detail;
+  if (n.kind == HetOpNode::Kind::kRouter) {
+    // Print the stamped policy — the field the lowering executes — so the
+    // rendered plan cannot disagree with the runtime graph; keep any detail
+    // that is not just a cosmetic restatement of it.
+    os << " policy=" << RouterPolicyName(n.policy);
+    if (!n.detail.empty() && n.detail.rfind("policy=", 0) != 0) {
+      os << " " << n.detail;
+    }
+  } else if (!n.detail.empty()) {
+    os << " " << n.detail;
+  }
   if (!seen->insert(id).second) {
     os << "  (^ see node above)\n";
     return;
@@ -153,8 +174,27 @@ HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
   constexpr auto kGpu = sim::DeviceType::kGpu;
 
   HetPlan plan;
+  plan.channel_capacity = policy.channel_capacity;
   PlanBuilder b(&plan);
   const Layout layout = ComputeLayout(policy, topo);
+  const sim::CostModel& cm = topo.cost_model();
+
+  auto stamp_router = [&](int id, RouterPolicy router_policy) {
+    HetOpNode& n = plan.node(id);
+    n.policy = router_policy;
+    n.control_cost = cm.router_control_cost;
+    n.init_latency = cm.router_init_latency;
+  };
+  auto stamp_segmenter = [&](int id, const std::string& table) {
+    HetOpNode& n = plan.node(id);
+    n.table = table;
+    n.block_rows = policy.block_rows;
+    n.per_block_cost = cm.segmenter_block_cost;
+  };
+  auto place = [&](int id, const std::vector<sim::DeviceId>& instances) {
+    plan.node(id).placement = instances;
+    return id;
+  };
 
   // --- Build subplans: one shared segmenter+broadcast per join, one build chain
   // per participating device unit.
@@ -163,9 +203,11 @@ HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
   for (size_t j = 0; j < spec.joins.size(); ++j) {
     const JoinSpec& join = spec.joins[j];
     const int seg = b.Add(Kind::kSegmenter, kCpu, join.build_table, {});
+    stamp_segmenter(seg, join.build_table);
     int feed = seg;
     if (layout.routers_present) {
       feed = b.Add(Kind::kRouter, kCpu, "policy=broadcast(target-id)", {seg});
+      stamp_router(feed, RouterPolicy::kBroadcast);
     }
     cpu_builds.emplace_back();
     gpu_builds.emplace_back();
@@ -177,97 +219,168 @@ HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
       }
       const auto dev_type = unit.type;
       if (unit.is_gpu()) {
-        chain = b.Add(Kind::kCpu2Gpu, kGpu, "launch on " + unit.ToString(), {chain});
-      }
-      chain = b.Add(Kind::kUnpack, dev_type, "", {chain});
-      if (join.build_filter != nullptr) {
-        chain = b.Add(Kind::kFilter, dev_type, join.build_filter->ToString(),
+        // Without routers there is no mem-move below: the launch addresses host
+        // data in place over UVA (waives the §3.3 rule-3 mem-move requirement).
+        chain = b.Add(Kind::kCpu2Gpu, kGpu,
+                      layout.routers_present
+                          ? "launch on " + unit.ToString()
+                          : "UVA zero-copy launch on " + unit.ToString(),
                       {chain});
+        plan.node(chain).uva = !layout.routers_present;
       }
-      chain = b.Add(Kind::kJoinBuild, dev_type,
-                    "ht[" + std::to_string(j) + "] on " + unit.ToString(), {chain});
+      chain = place(b.Add(Kind::kUnpack, dev_type, "", {chain}), {unit});
+      if (join.build_filter != nullptr) {
+        chain = place(b.Add(Kind::kFilter, dev_type, join.build_filter->ToString(),
+                            {chain}),
+                      {unit});
+      }
+      chain = place(b.Add(Kind::kJoinBuild, dev_type,
+                          "ht[" + std::to_string(j) + "] on " + unit.ToString(),
+                          {chain}),
+                    {unit});
+      plan.node(chain).join_id = static_cast<int>(j);
       (unit.is_gpu() ? gpu_builds : cpu_builds)[j].push_back(chain);
     }
   }
 
   // --- Probe side: segmenter -> router -> per device-type branch.
   const int fact_seg = b.Add(Kind::kSegmenter, kCpu, spec.fact_table, {});
+  stamp_segmenter(fact_seg, spec.fact_table);
   int fact_feed = fact_seg;
   if (layout.routers_present) {
     fact_feed = b.Add(Kind::kRouter, kCpu,
                       policy.load_balance ? "policy=load-balance"
                                           : "policy=round-robin",
                       {fact_seg}, static_cast<int>(layout.probe_instances.size()));
+    stamp_router(fact_feed, policy.load_balance ? RouterPolicy::kLoadBalance
+                                                : RouterPolicy::kRoundRobin);
   }
 
-  auto build_branch = [&](sim::DeviceType dev_type, int dop) -> int {
-    int chain = fact_feed;
+  // Per-device-type probe instances: the placement of each branch's span nodes.
+  std::vector<sim::DeviceId> cpu_instances;
+  std::vector<sim::DeviceId> gpu_instances;
+  for (const auto& dev : layout.probe_instances) {
+    (dev.is_cpu() ? cpu_instances : gpu_instances).push_back(dev);
+  }
+  const bool split = policy.split_probe_stage && layout.routers_present;
+
+  // Transport from `feed` onto a branch's device type: mem-move + crossing +
+  // unpack (the consumer-side converter sandwich of every exchange).
+  auto enter_branch = [&](int feed, sim::DeviceType dev_type, int dop) -> int {
+    int chain = feed;
     if (layout.routers_present) {
       chain = b.Add(Kind::kMemMove, kCpu, "to consumer-local memory", {chain}, dop);
     }
     if (dev_type == kGpu) {
       chain = b.Add(Kind::kCpu2Gpu, kGpu,
                     layout.routers_present ? "" : "UVA zero-copy", {chain}, dop);
+      plan.node(chain).uva = !layout.routers_present;
     }
-    chain = b.Add(Kind::kUnpack, dev_type, "", {chain}, dop);
-    if (spec.fact_filter != nullptr) {
-      chain = b.Add(Kind::kFilter, dev_type, spec.fact_filter->ToString(), {chain},
-                    dop);
-    }
-    if (policy.split_probe_stage && layout.routers_present) {
-      // Fig. 1e shape: filter stage, hash-pack, hash router, then the join stage.
-      const std::string key =
-          spec.joins.empty() ? "tuple-hash" : spec.joins[0].probe_key;
-      chain = b.Add(Kind::kHashPack, dev_type, "by hash(" + key + ")", {chain}, dop);
-      if (dev_type == kGpu) {
-        chain = b.Add(Kind::kGpu2Cpu, kCpu, "", {chain}, dop);
-      }
-      chain = b.Add(Kind::kRouter, kCpu, "policy=hash", {chain}, dop);
-      chain = b.Add(Kind::kMemMove, kCpu, "to consumer-local memory", {chain}, dop);
-      if (dev_type == kGpu) {
-        chain = b.Add(Kind::kCpu2Gpu, kGpu, "", {chain}, dop);
-      }
-      chain = b.Add(Kind::kUnpack, dev_type, "", {chain}, dop);
-    }
+    return b.Add(Kind::kUnpack, dev_type, "", {chain}, dop);
+  };
+
+  // Join/aggregate/pack tail shared by fused and split (stage B) branches.
+  auto build_tail = [&](int chain, sim::DeviceType dev_type,
+                        const std::vector<sim::DeviceId>& instances) -> int {
+    const int dop = static_cast<int>(instances.size());
     for (size_t j = 0; j < spec.joins.size(); ++j) {
       std::vector<int> children = {chain};
       const auto& builds = dev_type == kGpu ? gpu_builds[j] : cpu_builds[j];
       children.insert(children.end(), builds.begin(), builds.end());
-      chain = b.Add(Kind::kJoinProbe, dev_type,
-                    spec.joins[j].build_table + "." + spec.joins[j].build_key +
-                        " = " + spec.joins[j].probe_key,
-                    std::move(children), dop);
+      chain = place(b.Add(Kind::kJoinProbe, dev_type,
+                          spec.joins[j].build_table + "." + spec.joins[j].build_key +
+                              " = " + spec.joins[j].probe_key,
+                          std::move(children), dop),
+                    instances);
+      plan.node(chain).join_id = static_cast<int>(j);
     }
-    chain = b.Add(spec.group_by.empty() ? Kind::kReduceLocal : Kind::kGroupByLocal,
-                  dev_type, "", {chain}, dop);
-    chain = b.Add(Kind::kPack, dev_type, "partials", {chain}, dop);
+    chain = place(b.Add(spec.group_by.empty() ? Kind::kReduceLocal
+                                              : Kind::kGroupByLocal,
+                        dev_type, "", {chain}, dop),
+                  instances);
+    chain = place(b.Add(Kind::kPack, dev_type, "partials", {chain}, dop), instances);
     if (dev_type == kGpu) {
       chain = b.Add(Kind::kGpu2Cpu, kCpu, "async device->host queue", {chain}, dop);
+      plan.node(chain).crossing_latency = cm.task_spawn_latency;
     }
     return chain;
   };
 
-  int cpu_dop = 0;
-  int gpu_dop = 0;
-  for (const auto& dev : layout.probe_instances) {
-    (dev.is_cpu() ? cpu_dop : gpu_dop) += 1;
-  }
+  std::vector<std::vector<sim::DeviceId>*> branches;
+  if (!cpu_instances.empty()) branches.push_back(&cpu_instances);
+  if (!gpu_instances.empty()) branches.push_back(&gpu_instances);
+
+  // Branch head shared by the fused arm and split stage A: enter the branch
+  // off `feed` and apply the fact filter.
+  auto branch_head = [&](int feed,
+                         const std::vector<sim::DeviceId>& instances) -> int {
+    const auto dev_type = instances.front().type;
+    const int dop = static_cast<int>(instances.size());
+    int chain = place(enter_branch(feed, dev_type, dop), instances);
+    if (spec.fact_filter != nullptr) {
+      chain = place(b.Add(Kind::kFilter, dev_type, spec.fact_filter->ToString(),
+                          {chain}, dop),
+                    instances);
+    }
+    return chain;
+  };
 
   std::vector<int> branch_tops;
-  if (cpu_dop > 0) branch_tops.push_back(build_branch(kCpu, cpu_dop));
-  if (gpu_dop > 0) branch_tops.push_back(build_branch(kGpu, gpu_dop));
+  if (!split) {
+    for (const auto* instances : branches) {
+      const int chain = branch_head(fact_feed, *instances);
+      branch_tops.push_back(
+          build_tail(chain, instances->front().type, *instances));
+    }
+  } else {
+    // Fig. 1e shape: per-branch filter stage + hash-pack, one shared hash
+    // router (the exchange), then per-branch join stages.
+    const int buckets = policy.hash_router_buckets > 0
+                            ? policy.hash_router_buckets
+                            : static_cast<int>(layout.probe_instances.size());
+    const std::string key =
+        spec.joins.empty() ? "tuple-hash" : spec.joins[0].probe_key;
+    std::vector<int> stage_a_tops;
+    for (const auto* instances : branches) {
+      const auto dev_type = instances->front().type;
+      const int dop = static_cast<int>(instances->size());
+      int chain = branch_head(fact_feed, *instances);
+      chain = place(b.Add(Kind::kHashPack, dev_type, "by hash(" + key + ")",
+                          {chain}, dop),
+                    *instances);
+      plan.node(chain).n_buckets = buckets;
+      if (dev_type == kGpu) {
+        chain = b.Add(Kind::kGpu2Cpu, kCpu, "", {chain}, dop);
+      }
+      stage_a_tops.push_back(chain);
+    }
+    const int hash_router =
+        b.Add(Kind::kRouter, kCpu, "policy=hash", std::move(stage_a_tops),
+              static_cast<int>(layout.probe_instances.size()));
+    stamp_router(hash_router, RouterPolicy::kHash);
+    for (const auto* instances : branches) {
+      const auto dev_type = instances->front().type;
+      const int dop = static_cast<int>(instances->size());
+      const int chain =
+          place(enter_branch(hash_router, dev_type, dop), *instances);
+      branch_tops.push_back(build_tail(chain, dev_type, *instances));
+    }
+  }
 
   int top;
   if (layout.routers_present) {
     top = b.Add(Kind::kRouter, kCpu, "policy=union", std::move(branch_tops));
+    stamp_router(top, RouterPolicy::kUnion);
     top = b.Add(Kind::kMemMove, kCpu, "partials to gather", {top});
   } else {
     HETEX_CHECK(branch_tops.size() == 1);
     top = branch_tops[0];
   }
-  top = b.Add(Kind::kGather, kCpu,
-              spec.group_by.empty() ? "global reduce" : "global group-by merge",
-              {top});
+  top = place(b.Add(Kind::kGather, kCpu,
+                    spec.group_by.empty() ? "global reduce"
+                                          : "global group-by merge",
+                    {top}),
+              {sim::DeviceId::Cpu(layout.gather_socket)});
   plan.root = b.Add(Kind::kResult, kCpu, spec.name, {top});
   return plan;
 }
@@ -307,6 +420,21 @@ Status ValidateHetPlan(const HetPlan& plan) {
                                 std::string(HetOpNode::KindName(n.kind)));
       }
     }
+    if (n.kind == Kind::kCpu2Gpu || n.kind == Kind::kGpu2Cpu) {
+      // Hand-mutated plans can reach here with a childless crossing; rules
+      // 2-4 below dereference the input, so reject instead of aborting.
+      if (n.children.empty()) {
+        return Status::Internal("device crossing without an input");
+      }
+    }
+
+    // Stamped placement is what the lowering instantiates: a dop annotation
+    // that disagrees with it would make the printed plan lie about the
+    // runtime graph's width.
+    if (!n.placement.empty() && n.dop != static_cast<int>(n.placement.size())) {
+      return Status::Internal(std::string(HetOpNode::KindName(n.kind)) +
+                              " dop disagrees with its placement stamp");
+    }
     if (n.kind == Kind::kCpu2Gpu &&
         (n.device != sim::DeviceType::kGpu ||
          plan.node(n.children.at(0)).device != sim::DeviceType::kCpu)) {
@@ -321,7 +449,11 @@ Status ValidateHetPlan(const HetPlan& plan) {
     // Rule 1: relational operators consume unpacked, tuple-at-a-time input.
     if (IsRelational(n.kind) && !n.children.empty()) {
       int c = n.children[0];
+      size_t steps = 0;
       while (true) {
+        if (++steps > plan.nodes.size()) {
+          return Status::Internal("plan contains a cycle");
+        }
         const HetOpNode& child = plan.node(c);
         if (child.kind == Kind::kUnpack || IsRelational(child.kind)) break;
         if (IsBlockProducer(child.kind)) {
@@ -334,8 +466,9 @@ Status ValidateHetPlan(const HetPlan& plan) {
       }
     }
 
-    // Rule 3: a mem-move fixes data locality before execution crosses to a GPU.
-    if (n.kind == Kind::kCpu2Gpu && n.detail.find("UVA") == std::string::npos) {
+    // Rule 3: a mem-move fixes data locality before execution crosses to a GPU
+    // (unless the crossing explicitly addresses producer memory over UVA).
+    if (n.kind == Kind::kCpu2Gpu && !IsUvaCrossing(n)) {
       const HetOpNode& below = plan.node(n.children.at(0));
       if (below.kind != Kind::kMemMove) {
         return Status::Internal("cpu2gpu without a mem-move fixing locality below");
@@ -343,10 +476,17 @@ Status ValidateHetPlan(const HetPlan& plan) {
     }
 
     // Rule 4: hash routers require hash-homogeneous blocks from a hash-pack.
-    if (n.kind == Kind::kRouter && n.detail.find("hash") != std::string::npos) {
+    // The stamped policy is what the lowering executes; the detail string is
+    // checked too so hand-written plans can't dodge the rule cosmetically.
+    if (n.kind == Kind::kRouter && (n.policy == RouterPolicy::kHash ||
+                                    n.detail.find("hash") != std::string::npos)) {
       for (int c : n.children) {
         const HetOpNode* child = &plan.node(c);
-        if (child->kind == Kind::kGpu2Cpu) child = &plan.node(child->children.at(0));
+        // A childless gpu2cpu was rejected above when *it* was visited, but it
+        // may appear later in the node array than this router: guard the deref.
+        if (child->kind == Kind::kGpu2Cpu && !child->children.empty()) {
+          child = &plan.node(child->children.at(0));
+        }
         if (child->kind != Kind::kHashPack) {
           return Status::Internal("hash router fed by non-hash-pack producer");
         }

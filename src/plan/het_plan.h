@@ -31,10 +31,24 @@ struct Layout {
 /// Computes the layout for a policy on a topology.
 Layout ComputeLayout(const ExecPolicy& policy, const sim::Topology& topo);
 
+/// Data-flow policy of a kRouter node (the paper's exchange flavours, §3.1).
+enum class RouterPolicy {
+  kRoundRobin,   ///< strict rotation
+  kLoadBalance,  ///< least virtual-time backlog
+  kHash,         ///< consumer owns the block's hash partition
+  kBroadcast,    ///< every consumer receives every block
+  kUnion,        ///< N producers funnel into one consumer
+};
+
+const char* RouterPolicyName(RouterPolicy policy);
+
 /// \brief Node of the explicit heterogeneity-aware operator DAG (the paper's
-/// Fig. 1e / Fig. 2b artifact). Used for plan printing, inspection and the §3.3
-/// placement-rule validation; the executor derives its runtime graph from the
-/// same Layout decisions.
+/// Fig. 1e / Fig. 2b artifact).
+///
+/// The DAG is the *executable* artifact: besides the printable/validatable
+/// structure, BuildHetPlan stamps every placement, degree-of-parallelism and
+/// cost parameter the lowering needs, so core::GraphBuilder can instantiate the
+/// runtime graph from the plan alone (no side-channel Layout consultation).
 struct HetOpNode {
   enum class Kind {
     kSegmenter, kRouter, kMemMove, kCpu2Gpu, kGpu2Cpu, kPack, kHashPack, kUnpack,
@@ -48,15 +62,44 @@ struct HetOpNode {
   int dop = 1;
   std::vector<int> children;   ///< indices into HetPlan::nodes
 
+  // --- Lowering parameters, stamped by BuildHetPlan. ---
+  RouterPolicy policy = RouterPolicy::kRoundRobin;  ///< kRouter
+  /// Concrete device instances executing this operator (relational/pack span
+  /// nodes and kGather). One entry per parallel instance.
+  std::vector<sim::DeviceId> placement;
+  std::string table;           ///< kSegmenter: catalog table to segment
+  int join_id = -1;            ///< kJoinBuild / kJoinProbe
+  int n_buckets = 0;           ///< kHashPack: hash-partition fanout
+  /// kCpu2Gpu: the crossing addresses producer memory in place over UVA
+  /// (no mem-move below; waives the §3.3 rule-3 requirement).
+  bool uva = false;
+  uint64_t block_rows = 0;     ///< kSegmenter: block granularity in tuples
+  double control_cost = 0;     ///< kRouter: control-plane cost per message
+  double crossing_latency = 0; ///< kGpu2Cpu: device->host task-spawn latency
+  double init_latency = 0;     ///< kRouter: one-time bring-up latency
+  double per_block_cost = 0;   ///< kSegmenter: per-block segmentation cost
+
   static const char* KindName(Kind kind);
 };
+
+/// True when a kCpu2Gpu crossing addresses producer memory in place over UVA —
+/// the stamped flag, or an explicit "UVA ..." detail prefix in hand-written
+/// plans. Shared by the §3.3 rule-3 waiver and the lowering so the two can
+/// never disagree on what counts as a UVA crossing.
+inline bool IsUvaCrossing(const HetOpNode& n) {
+  return n.kind == HetOpNode::Kind::kCpu2Gpu &&
+         (n.uva || n.detail.rfind("UVA", 0) == 0);
+}
 
 /// The heterogeneity-aware plan: a DAG of HetOpNodes rooted at kResult.
 struct HetPlan {
   std::vector<HetOpNode> nodes;
   int root = -1;
+  /// Router queue depth (backpressure) of every lowered edge.
+  uint64_t channel_capacity = 16;
 
   const HetOpNode& node(int i) const { return nodes.at(i); }
+  HetOpNode& node(int i) { return nodes.at(i); }
   std::string ToString() const;
 };
 

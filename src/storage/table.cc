@@ -18,10 +18,14 @@ Column* Table::AddColumn(const std::string& name, ColType type) {
 }
 
 int Table::ColumnIndex(const std::string& name) const {
+  const int idx = FindColumn(name);
+  HETEX_CHECK(idx >= 0) << "no column '" << name << "' in table " << name_;
+  return idx;
+}
+
+int Table::FindColumn(const std::string& name) const {
   auto it = col_index_.find(name);
-  HETEX_CHECK(it != col_index_.end())
-      << "no column '" << name << "' in table " << name_;
-  return it->second;
+  return it == col_index_.end() ? -1 : it->second;
 }
 
 Status Table::Place(const std::vector<sim::MemNodeId>& nodes,

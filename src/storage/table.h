@@ -34,6 +34,8 @@ class Table {
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
   int ColumnIndex(const std::string& name) const;
+  /// Like ColumnIndex, but returns -1 instead of aborting when absent.
+  int FindColumn(const std::string& name) const;
   Column& column(int idx) { return *columns_.at(idx); }
   const Column& column(int idx) const { return *columns_.at(idx); }
   const Column& column(const std::string& name) const {

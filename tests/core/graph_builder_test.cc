@@ -1,0 +1,325 @@
+#include "core/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/het_plan.h"
+#include "test_util.h"
+
+namespace hetex::core {
+namespace {
+
+using plan::ExecPolicy;
+using plan::HetOpNode;
+using plan::HetPlan;
+using test::TestEnv;
+
+/// Counts plan nodes of one kind.
+int CountKind(const HetPlan& plan, HetOpNode::Kind kind) {
+  int n = 0;
+  for (const auto& node : plan.nodes) n += node.kind == kind;
+  return n;
+}
+
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  GraphBuilderTest() : env_(20'000) {}
+
+  HetPlan Plan(const plan::QuerySpec& spec, const ExecPolicy& policy) {
+    return plan::BuildHetPlan(spec, policy, env_.system->topology());
+  }
+
+  LoweredSpec Lower(const HetPlan& plan) {
+    GraphBuilder builder(env_.system.get(), &plan);
+    Status st = builder.Analyze();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return builder.spec();
+  }
+
+  TestEnv env_;
+};
+
+// --- Lowered node/edge counts agree with the HetPlan, per ExecPolicy factory.
+
+TEST_F(GraphBuilderTest, CpuOnlyLoweringMatchesPlan) {
+  const auto spec = env_.ssb->Query(3, 1);
+  const HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::CpuOnly(4)));
+  const LoweredSpec lowered = Lower(plan);
+
+  // One build stage per join, each instanced once per kJoinBuild replica.
+  ASSERT_EQ(lowered.build_stages.size(), spec.joins.size());
+  int plan_build_replicas = CountKind(plan, HetOpNode::Kind::kJoinBuild);
+  int lowered_build_instances = 0;
+  for (const auto& s : lowered.build_stages) {
+    EXPECT_EQ(s.span.role, PipelineSpan::Role::kBuild);
+    EXPECT_EQ(s.in.options.policy, Edge::Policy::kBroadcast);
+    lowered_build_instances += static_cast<int>(s.instances.size());
+  }
+  EXPECT_EQ(lowered_build_instances, plan_build_replicas);
+
+  // Fused plan: gather + probe stages; probe DOP = the fact router's fanout.
+  ASSERT_EQ(lowered.fact_stages.size(), 2u);
+  EXPECT_EQ(lowered.fact_stages[0].span.role, PipelineSpan::Role::kGather);
+  EXPECT_EQ(lowered.fact_stages[0].instances.size(), 1u);
+  EXPECT_EQ(lowered.fact_stages[1].span.role, PipelineSpan::Role::kProbe);
+  EXPECT_EQ(lowered.fact_stages[1].instances.size(), 4u);
+  for (const auto& dev : lowered.fact_stages[1].instances) {
+    EXPECT_TRUE(dev.is_cpu());
+  }
+  EXPECT_EQ(lowered.fact_stages[1].in.options.policy, Edge::Policy::kLoadBalance);
+  EXPECT_EQ(lowered.TotalEdges(), static_cast<int>(spec.joins.size()) + 2);
+
+  const auto result = env_.Run(spec, TestEnv::Tune(ExecPolicy::CpuOnly(4)));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+TEST_F(GraphBuilderTest, GpuOnlyLoweringMatchesPlan) {
+  const auto spec = env_.ssb->Query(1, 1);
+  const HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::GpuOnly()));
+  const LoweredSpec lowered = Lower(plan);
+
+  ASSERT_EQ(lowered.fact_stages.size(), 2u);
+  const StageSpec& probe = lowered.fact_stages[1];
+  EXPECT_EQ(probe.instances.size(), 2u);  // both GPUs of the test topology
+  for (const auto& dev : probe.instances) EXPECT_TRUE(dev.is_gpu());
+  // The device->host partials crossing stamps its latency on the union edge.
+  EXPECT_GT(lowered.fact_stages[0].in.options.crossing_latency, 0.0);
+  // Routers present: bring-up latency lifted from the plan stamps.
+  EXPECT_GT(lowered.init_latency, 0.0);
+
+  const auto result = env_.Run(spec, TestEnv::Tune(ExecPolicy::GpuOnly()));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+TEST_F(GraphBuilderTest, HybridLoweringMergesBranchesOfOneExchange) {
+  const auto spec = env_.ssb->Query(2, 1);
+  const HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::Hybrid(3)));
+  const LoweredSpec lowered = Lower(plan);
+
+  // The CPU and GPU branches of the DAG share the fact router: one worker
+  // group, CPU instances first (the plan's branch order).
+  ASSERT_EQ(lowered.fact_stages.size(), 2u);
+  const StageSpec& probe = lowered.fact_stages[1];
+  ASSERT_EQ(probe.instances.size(), 5u);  // 3 CPU workers + 2 GPUs
+  EXPECT_TRUE(probe.instances[0].is_cpu());
+  EXPECT_TRUE(probe.instances[4].is_gpu());
+  ASSERT_EQ(probe.branch_nodes.size(), 2u);
+
+  // Build stages replicate per unit: 2 sockets + 2 GPUs.
+  for (const auto& s : lowered.build_stages) {
+    EXPECT_EQ(s.instances.size(), 4u);
+  }
+
+  const auto result = env_.Run(spec, TestEnv::Tune(ExecPolicy::Hybrid(3)));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+TEST_F(GraphBuilderTest, SplitPlanLowersSharedHashExchange) {
+  const auto spec = env_.ssb->Query(2, 2);
+  ExecPolicy policy = TestEnv::Tune(ExecPolicy::Hybrid(2));
+  policy.split_probe_stage = true;
+  const HetPlan plan = Plan(spec, policy);
+  const LoweredSpec lowered = Lower(plan);
+
+  ASSERT_EQ(lowered.fact_stages.size(), 3u);
+  EXPECT_EQ(lowered.fact_stages[0].span.role, PipelineSpan::Role::kGather);
+  EXPECT_EQ(lowered.fact_stages[1].span.role, PipelineSpan::Role::kProbe);
+  EXPECT_EQ(lowered.fact_stages[2].span.role, PipelineSpan::Role::kFilterStage);
+  // Stage A and stage B are connected by the single hash exchange of the plan.
+  EXPECT_EQ(lowered.fact_stages[1].in.options.policy, Edge::Policy::kHash);
+  EXPECT_EQ(lowered.fact_stages[1].instances.size(),
+            lowered.fact_stages[2].instances.size());
+
+  const auto result = env_.Run(spec, policy);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+TEST_F(GraphBuilderTest, BareCpuLoweringHasNoRouters) {
+  const auto spec = env_.ssb->Query(1, 2);
+  const ExecPolicy policy = TestEnv::Tune(ExecPolicy::Bare(sim::DeviceType::kCpu));
+  const HetPlan plan = Plan(spec, policy);
+  const LoweredSpec lowered = Lower(plan);
+
+  EXPECT_EQ(lowered.init_latency, 0.0);  // no routers to bring up
+  for (const auto& s : lowered.build_stages) {
+    EXPECT_EQ(s.in.router, -1);
+    EXPECT_EQ(s.in.options.control_cost, 0.0);
+    EXPECT_EQ(s.instances.size(), 1u);
+  }
+  ASSERT_EQ(lowered.fact_stages.size(), 2u);
+  EXPECT_EQ(lowered.fact_stages[1].instances.size(), 1u);
+
+  const auto result = env_.Run(spec, policy);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+TEST_F(GraphBuilderTest, BareGpuLoweringUsesUva) {
+  const auto spec = env_.ssb->Query(1, 2);
+  const ExecPolicy policy = TestEnv::Tune(ExecPolicy::Bare(sim::DeviceType::kGpu));
+  const HetPlan plan = Plan(spec, policy);
+  // Bare plans now carry the UVA marker, so they validate like any other plan.
+  EXPECT_TRUE(plan::ValidateHetPlan(plan).ok());
+  const LoweredSpec lowered = Lower(plan);
+
+  // UVA addressing: no mem-move on the segmenter-fed edges.
+  for (const auto& s : lowered.build_stages) {
+    EXPECT_TRUE(s.in.uva);
+    EXPECT_FALSE(s.in.options.mem_move);
+  }
+  const StageSpec& probe = lowered.fact_stages.back();
+  EXPECT_TRUE(probe.in.uva);
+  EXPECT_FALSE(probe.in.options.mem_move);
+  // Partials still cross device->host with a real move.
+  EXPECT_TRUE(lowered.fact_stages[0].in.options.mem_move);
+  EXPECT_GT(lowered.fact_stages[0].in.options.crossing_latency, 0.0);
+
+  const auto result = env_.Run(spec, policy);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env_.Reference(spec));
+}
+
+// --- The acceptance proof: mutating the *plan* changes execution behavior,
+// with zero executor changes.
+
+TEST_F(GraphBuilderTest, MutatingRouterPolicyNodeChangesExecution) {
+  const auto spec = env_.ssb->Query(1, 1);  // scalar SUM(revenue)
+  const ExecPolicy policy = TestEnv::Tune(ExecPolicy::CpuOnly(3));
+  HetPlan plan = Plan(spec, policy);
+
+  QueryExecutor executor(env_.system.get());
+  const auto baseline = executor.ExecutePlan(spec, plan);
+  ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
+  ASSERT_EQ(baseline.rows, env_.Reference(spec));
+
+  // Flip the fact router from load-balance to broadcast. Every probe instance
+  // now receives every fact block, so the scalar sum multiplies by the DOP.
+  int mutated = 0;
+  for (auto& node : plan.nodes) {
+    if (node.kind == HetOpNode::Kind::kRouter &&
+        node.policy == plan::RouterPolicy::kLoadBalance) {
+      node.policy = plan::RouterPolicy::kBroadcast;
+      node.detail = "policy=broadcast (mutated)";
+      ++mutated;
+    }
+  }
+  ASSERT_EQ(mutated, 1);
+
+  const auto dup = executor.ExecutePlan(spec, plan);
+  ASSERT_TRUE(dup.status.ok()) << dup.status.ToString();
+  ASSERT_EQ(dup.rows.size(), 1u);
+  EXPECT_EQ(dup.rows[0][0], 3 * baseline.rows[0][0]);
+}
+
+TEST_F(GraphBuilderTest, MutatingSegmenterGranularityChangesExecution) {
+  const auto spec = env_.ssb->Query(1, 1);
+  const ExecPolicy policy = TestEnv::Tune(ExecPolicy::CpuOnly(2));
+  HetPlan plan = Plan(spec, policy);
+
+  QueryExecutor executor(env_.system.get());
+  const auto coarse = executor.ExecutePlan(spec, plan);
+  ASSERT_TRUE(coarse.status.ok());
+
+  // Quarter the fact segmenter's block granularity: same answers, more blocks,
+  // more per-block control work on the modeled timeline.
+  for (auto& node : plan.nodes) {
+    if (node.kind == HetOpNode::Kind::kSegmenter && node.table == "lineorder") {
+      node.block_rows /= 4;
+    }
+  }
+  const auto fine = executor.ExecutePlan(spec, plan);
+  ASSERT_TRUE(fine.status.ok());
+  EXPECT_EQ(fine.rows, coarse.rows);
+  EXPECT_NE(fine.modeled_seconds, coarse.modeled_seconds);
+}
+
+TEST_F(GraphBuilderTest, InvalidPlanIsRejectedBeforeExecution) {
+  const auto spec = env_.ssb->Query(1, 1);
+  HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+
+  // Flip the union router's *stamped* policy — the field the lowering actually
+  // executes — without touching the cosmetic detail string: rule 4 (hash
+  // routers need hash-packed input) must reject the plan before anything runs.
+  for (auto& node : plan.nodes) {
+    if (node.kind == HetOpNode::Kind::kRouter &&
+        node.policy == plan::RouterPolicy::kUnion) {
+      node.policy = plan::RouterPolicy::kHash;
+    }
+  }
+  QueryExecutor executor(env_.system.get());
+  const auto result = executor.ExecutePlan(spec, plan);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(GraphBuilderTest, OutOfRangeJoinIdSurfacesAsStatus) {
+  const auto spec = env_.ssb->Query(1, 1);  // one join
+  HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+  for (auto& node : plan.nodes) {
+    if (node.kind == HetOpNode::Kind::kJoinBuild) node.join_id = 7;
+  }
+  QueryExecutor executor(env_.system.get());
+  const auto result = executor.ExecutePlan(spec, plan);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(GraphBuilderTest, PlanCycleSurfacesAsStatusNotHang) {
+  const auto spec = env_.ssb->Query(1, 1);
+  HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+  // Point an unpack at itself: validation/lowering must error, not loop.
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    if (plan.nodes[i].kind == HetOpNode::Kind::kUnpack) {
+      plan.nodes[i].children = {static_cast<int>(i)};
+      break;
+    }
+  }
+  QueryExecutor executor(env_.system.get());
+  const auto result = executor.ExecutePlan(spec, plan);
+  EXPECT_FALSE(result.status.ok());
+
+  // Cross-stage cycle: point the fact router back at the probe span's pack, so
+  // the fact chain re-discovers the same producer top forever if unguarded.
+  HetPlan looped = Plan(spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+  int pack = -1;
+  for (size_t i = 0; i < looped.nodes.size(); ++i) {
+    if (looped.nodes[i].kind == HetOpNode::Kind::kPack) pack = static_cast<int>(i);
+  }
+  ASSERT_GE(pack, 0);
+  for (auto& node : looped.nodes) {
+    if (node.kind == HetOpNode::Kind::kRouter &&
+        node.policy == plan::RouterPolicy::kLoadBalance) {
+      node.children = {pack};
+    }
+  }
+  const auto r2 = executor.ExecutePlan(spec, looped);
+  EXPECT_FALSE(r2.status.ok());
+}
+
+TEST_F(GraphBuilderTest, AnalyzeRejectsMalformedDag) {
+  HetPlan plan;
+  plan.nodes.push_back({HetOpNode::Kind::kSegmenter, "", sim::DeviceType::kCpu,
+                        1, {}});
+  plan.root = 0;  // no result node
+  GraphBuilder builder(env_.system.get(), &plan);
+  EXPECT_FALSE(builder.Analyze().ok());
+}
+
+TEST_F(GraphBuilderTest, DescribeRendersStagesAndEdges) {
+  const auto spec = env_.ssb->Query(3, 1);
+  const HetPlan plan = Plan(spec, TestEnv::Tune(ExecPolicy::Hybrid(2)));
+  GraphBuilder builder(env_.system.get(), &plan);
+  ASSERT_TRUE(builder.Analyze().ok());
+  const std::string s = builder.spec().ToString();
+  for (const char* expected :
+       {"build stage:", "fact stage:", "gather", "probe", "policy=broadcast",
+        "policy=load-balance", "mem-move"}) {
+    EXPECT_NE(s.find(expected), std::string::npos) << "missing " << expected;
+  }
+}
+
+}  // namespace
+}  // namespace hetex::core

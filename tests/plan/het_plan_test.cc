@@ -148,6 +148,87 @@ TEST_F(HetPlanTest, PrinterShowsTheRunningExampleShape) {
   }
 }
 
+// ---- BuildHetPlan stamps every parameter the lowering needs on the nodes.
+
+TEST_F(HetPlanTest, StampsLoweringParameters) {
+  ExecPolicy policy = ExecPolicy::Hybrid(4);
+  policy.block_rows = 2048;
+  policy.channel_capacity = 7;
+  HetPlan plan = BuildHetPlan(JoinQuery(), policy, topo_);
+  EXPECT_EQ(plan.channel_capacity, 7u);
+
+  int routers = 0, segmenters = 0, placed_spans = 0, crossing_stamps = 0;
+  for (const auto& n : plan.nodes) {
+    switch (n.kind) {
+      case HetOpNode::Kind::kRouter:
+        ++routers;
+        EXPECT_GT(n.control_cost, 0.0);
+        EXPECT_GT(n.init_latency, 0.0);
+        break;
+      case HetOpNode::Kind::kSegmenter:
+        ++segmenters;
+        EXPECT_FALSE(n.table.empty());
+        EXPECT_EQ(n.block_rows, 2048u);
+        EXPECT_GT(n.per_block_cost, 0.0);
+        break;
+      case HetOpNode::Kind::kJoinBuild:
+        EXPECT_EQ(n.join_id, 0);
+        ASSERT_EQ(n.placement.size(), 1u);
+        break;
+      case HetOpNode::Kind::kJoinProbe:
+      case HetOpNode::Kind::kReduceLocal:
+      case HetOpNode::Kind::kPack:
+        EXPECT_EQ(static_cast<int>(n.placement.size()), n.dop);
+        ++placed_spans;
+        break;
+      case HetOpNode::Kind::kGpu2Cpu:
+        crossing_stamps += n.crossing_latency > 0.0;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GE(routers, 3);      // broadcast + fact + union
+  EXPECT_EQ(segmenters, 2);   // dim + fact
+  EXPECT_GT(placed_spans, 0);
+  EXPECT_EQ(crossing_stamps, 1);  // the async device->host partials queue
+}
+
+TEST_F(HetPlanTest, StampsRouterPolicies) {
+  ExecPolicy policy = ExecPolicy::Hybrid(4);
+  policy.split_probe_stage = true;
+  HetPlan plan = BuildHetPlan(JoinQuery(), policy, topo_);
+  int broadcast = 0, lb = 0, hash = 0, un = 0;
+  for (const auto& n : plan.nodes) {
+    if (n.kind != HetOpNode::Kind::kRouter) continue;
+    broadcast += n.policy == RouterPolicy::kBroadcast;
+    lb += n.policy == RouterPolicy::kLoadBalance;
+    hash += n.policy == RouterPolicy::kHash;
+    un += n.policy == RouterPolicy::kUnion;
+  }
+  EXPECT_EQ(broadcast, 1);
+  EXPECT_EQ(lb, 1);
+  EXPECT_EQ(hash, 1);  // one shared hash exchange, not one per branch
+  EXPECT_EQ(un, 1);
+}
+
+TEST_F(HetPlanTest, GatherPlacementStampedOnHostSocket) {
+  HetPlan plan = BuildHetPlan(JoinQuery(), ExecPolicy::GpuOnly({1}), topo_);
+  for (const auto& n : plan.nodes) {
+    if (n.kind == HetOpNode::Kind::kGather) {
+      ASSERT_EQ(n.placement.size(), 1u);
+      EXPECT_EQ(n.placement[0], sim::DeviceId::Cpu(topo_.gpu(1).socket));
+    }
+  }
+}
+
+TEST_F(HetPlanTest, BarePlansValidateViaUvaMarkers) {
+  for (auto type : {sim::DeviceType::kCpu, sim::DeviceType::kGpu}) {
+    HetPlan plan = BuildHetPlan(JoinQuery(), ExecPolicy::Bare(type), topo_);
+    EXPECT_TRUE(ValidateHetPlan(plan).ok()) << plan.ToString();
+  }
+}
+
 // ---- Validator catches broken plans (the §3.3 converter rules).
 
 TEST_F(HetPlanTest, ValidatorRejectsDeviceJumpWithoutCrossing) {
@@ -180,6 +261,17 @@ TEST_F(HetPlanTest, ValidatorRejectsCpu2GpuWithoutMemMove) {
   plan.nodes.push_back({HetOpNode::Kind::kUnpack, "", sim::DeviceType::kGpu,
                         1, {1}});
   plan.root = 2;
+  EXPECT_FALSE(ValidateHetPlan(plan).ok());
+}
+
+TEST_F(HetPlanTest, ValidatorRejectsChildlessCrossing) {
+  HetPlan plan = BuildHetPlan(JoinQuery(), ExecPolicy::GpuOnly(), topo_);
+  for (auto& n : plan.nodes) {
+    if (n.kind == HetOpNode::Kind::kCpu2Gpu) {
+      n.children.clear();
+      break;
+    }
+  }
   EXPECT_FALSE(ValidateHetPlan(plan).ok());
 }
 
