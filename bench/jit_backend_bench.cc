@@ -1,0 +1,274 @@
+// JIT backend microbenchmark: rows/sec of the row interpreter (tier 0) vs the
+// vectorized batch backend (tier 1) on the two pipeline shapes that dominate
+// SSB execution — filter→emit (a split plan's stage A) and filter→probe→agg
+// (the fused fact pipeline). Output is JSON so the speedup is a recorded
+// number, not a claim.
+//
+// Usage:
+//   bench_jit_backend_bench [--check] [--rows N]
+//
+// --check exits nonzero if the vectorized tier is not faster than the
+// interpreter on the filter-heavy microbench (the CI smoke gate).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "jit/interpreter.h"
+#include "jit/program.h"
+#include "jit/vectorizer.h"
+#include "memory/memory_manager.h"
+#include "sim/topology.h"
+
+namespace hetex {
+namespace {
+
+using jit::AggFunc;
+using jit::OpCode;
+using jit::PipelineProgram;
+using jit::ProgramBuilder;
+
+/// Finalizes a program for both tiers without a device provider: validation is
+/// assumed (generated here), tier 1 comes straight from the vectorizer.
+PipelineProgram Lower(PipelineProgram p) {
+  p.finalized = true;
+  jit::VectorizeResult vec = jit::TryVectorize(p);
+  HETEX_CHECK(vec.program != nullptr)
+      << "bench pipeline failed to vectorize: " << vec.reason;
+  p.vec = vec.program;
+  p.tier = jit::ExecTier::kVectorized;
+  return p;
+}
+
+/// filter→emit: load two int32 columns, keep rows with a < threshold (~50%),
+/// emit both survivors' columns. The shape of a split plan's stage A.
+PipelineProgram FilterEmitProgram() {
+  ProgramBuilder b;
+  const int a = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, a, 0);
+  const int k = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, k, 1);
+  const int threshold = b.AllocReg();
+  b.EmitOp(OpCode::kConst, threshold, 0, 0, 0, 25);  // ~50% pass
+  const int pred = b.AllocReg();
+  b.EmitOp(OpCode::kCmpLt, pred, a, threshold);
+  b.EmitOp(OpCode::kFilter, pred);
+  const int first = b.AllocReg();
+  b.AllocReg();
+  b.EmitOp(OpCode::kShl, first, a, 0, 0, 0);      // mov
+  b.EmitOp(OpCode::kShl, first + 1, k, 0, 0, 0);  // mov
+  b.EmitOp(OpCode::kEmit, first, 2);
+  return Lower(b.Finalize("bench.filter-emit"));
+}
+
+/// filter→probe→agg, the fused fact pipeline in its SSB Q1 form: a
+/// three-predicate conjunctive filter (quantity < 25, 1 <= discount <= 3,
+/// ~25% combined), a probe of the date dimension, and SUM(price * discount
+/// + payload) + COUNT.
+PipelineProgram FilterProbeAggProgram() {
+  ProgramBuilder b;
+  const int qty = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, qty, 0);
+  const int disc = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, disc, 2);
+  const int c25 = b.AllocReg();
+  b.EmitOp(OpCode::kConst, c25, 0, 0, 0, 25);
+  const int c1 = b.AllocReg();
+  b.EmitOp(OpCode::kConst, c1, 0, 0, 0, 1);
+  const int c3 = b.AllocReg();
+  b.EmitOp(OpCode::kConst, c3, 0, 0, 0, 3);
+  const int p0 = b.AllocReg();
+  b.EmitOp(OpCode::kCmpLt, p0, qty, c25);
+  const int p1 = b.AllocReg();
+  b.EmitOp(OpCode::kCmpGe, p1, disc, c1);
+  const int p2 = b.AllocReg();
+  b.EmitOp(OpCode::kCmpLe, p2, disc, c3);
+  const int p01 = b.AllocReg();
+  b.EmitOp(OpCode::kAnd, p01, p0, p1);
+  const int pred = b.AllocReg();
+  b.EmitOp(OpCode::kAnd, pred, p01, p2);
+  b.EmitOp(OpCode::kFilter, pred);
+  // Survivor columns resolve after the filter, as the query compiler emits them.
+  const int k = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, k, 1);
+  const int price = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, price, 3);
+  const int revenue = b.AllocReg();
+  b.EmitOp(OpCode::kMul, revenue, price, disc);
+
+  const int iter = b.AllocReg();
+  b.EmitOp(OpCode::kHtProbeInit, iter, k, 0);
+  const int loop = b.NewLabel();
+  const int exit = b.NewLabel();
+  b.Bind(loop);
+  b.EmitOp(OpCode::kJmpIfNeg, iter, exit);
+  const int payload = b.AllocReg();
+  b.EmitOp(OpCode::kHtLoadPayload, payload, iter, 0, 1);
+  const int keyed = b.AllocReg();
+  b.EmitOp(OpCode::kAdd, keyed, revenue, payload);
+  const int sum = b.AllocLocalAcc(AggFunc::kSum);
+  b.EmitOp(OpCode::kAggLocal, sum, keyed, static_cast<int>(AggFunc::kSum));
+  const int cnt = b.AllocLocalAcc(AggFunc::kCount);
+  b.EmitOp(OpCode::kAggLocal, cnt, payload, static_cast<int>(AggFunc::kCount));
+  b.EmitOp(OpCode::kHtIterNext, iter, k, 0);
+  b.EmitOp(OpCode::kJmp, loop);
+  b.Bind(exit);
+  return Lower(b.Finalize("bench.filter-probe-agg"));
+}
+
+struct BenchData {
+  std::vector<int32_t> col_a;     // col 0: filter_emit value / Q1 quantity
+  std::vector<int32_t> col_k;     // col 1: join key
+  std::vector<int32_t> col_disc;  // col 2: Q1 discount (0..10)
+  std::vector<int32_t> col_price; // col 3: Q1 price
+  std::vector<jit::ColumnBinding> bindings;
+  uint64_t rows;
+};
+
+BenchData MakeData(uint64_t rows, uint64_t key_domain) {
+  BenchData d;
+  d.rows = rows;
+  d.col_a.resize(rows);
+  d.col_k.resize(rows);
+  d.col_disc.resize(rows);
+  d.col_price.resize(rows);
+  Rng rng(42);
+  for (uint64_t i = 0; i < rows; ++i) {
+    d.col_a[i] = static_cast<int32_t>(i % 50);  // quantity-like
+    d.col_k[i] = static_cast<int32_t>(rng.Uniform(key_domain) + 1);
+    d.col_disc[i] = static_cast<int32_t>(rng.Uniform(11));
+    d.col_price[i] = static_cast<int32_t>(rng.Uniform(100000));
+  }
+  d.bindings.push_back({reinterpret_cast<const std::byte*>(d.col_a.data()), 4});
+  d.bindings.push_back({reinterpret_cast<const std::byte*>(d.col_k.data()), 4});
+  d.bindings.push_back({reinterpret_cast<const std::byte*>(d.col_disc.data()), 4});
+  d.bindings.push_back({reinterpret_cast<const std::byte*>(d.col_price.data()), 4});
+  return d;
+}
+
+struct Shape {
+  std::string name;
+  PipelineProgram program;
+  jit::JoinHashTable* ht = nullptr;  // probe shapes only
+  bool has_emit = false;
+};
+
+/// Runs one shape through one tier `iters` times; returns rows/sec and fills
+/// `stats_out` with one iteration's CostStats (for the parity cross-check).
+double Throughput(const Shape& shape, const BenchData& data, bool vectorized,
+                  int iters, sim::CostStats* stats_out) {
+  PipelineProgram p = shape.program;
+  p.tier = vectorized ? jit::ExecTier::kVectorized : jit::ExecTier::kInterpreter;
+
+  // Reusable emit sink: capacity-bounded, recycled by on_full like a real pack.
+  std::vector<int64_t> out_a(1 << 16), out_k(1 << 16);
+  jit::EmitTarget emit;
+  emit.cols.push_back({reinterpret_cast<std::byte*>(out_a.data()), 8});
+  emit.cols.push_back({reinterpret_cast<std::byte*>(out_k.data()), 8});
+  emit.capacity = out_a.size();
+  emit.on_full = [&emit] { emit.ResetCursor(); };
+
+  void* ht_slots[1] = {shape.ht};
+  double best = 0;
+  for (int it = 0; it < iters; ++it) {
+    sim::CostStats stats;
+    int64_t accs[jit::kMaxLocalAccs] = {};
+    jit::ExecCtx ctx;
+    ctx.cols = data.bindings.data();
+    ctx.n_cols = static_cast<int>(data.bindings.size());
+    ctx.emit = &emit;
+    ctx.local_accs = accs;
+    ctx.ht_slots = ht_slots;
+    ctx.stats = &stats;
+    emit.ResetCursor();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = jit::Run(p, ctx, data.rows);
+    const auto t1 = std::chrono::steady_clock::now();
+    HETEX_CHECK(st.ok()) << st.ToString();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double rate = static_cast<double>(data.rows) / secs;
+    if (rate > best) best = rate;
+    *stats_out = stats;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace hetex
+
+int main(int argc, char** argv) {
+  using namespace hetex;  // NOLINT — bench brevity
+
+  bool check = false;
+  uint64_t rows = 1 << 21;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  constexpr uint64_t kBuildRows = 2556;  // the SSB date dimension (7 years)
+  const BenchData data = MakeData(rows, kBuildRows);
+
+  memory::MemoryManager mm(/*node=*/0, /*capacity=*/1ull << 30);
+  jit::JoinHashTable ht(&mm, kBuildRows, /*payload_width=*/1);
+  for (uint64_t i = 0; i < kBuildRows; ++i) {
+    const int64_t key = static_cast<int64_t>(i + 1);
+    const int64_t payload = static_cast<int64_t>(i & 0xFF);
+    ht.Insert(key, &payload);
+  }
+
+  std::vector<Shape> shapes;
+  shapes.push_back({"filter_emit", FilterEmitProgram(), nullptr, true});
+  shapes.push_back({"filter_probe_agg", FilterProbeAggProgram(), &ht, false});
+
+  constexpr int kIters = 5;
+  bool check_failed = false;
+  std::printf("{\n  \"rows\": %" PRIu64 ",\n  \"benchmarks\": [\n", rows);
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const Shape& shape = shapes[i];
+    sim::CostStats interp_stats, vec_stats;
+    const double interp =
+        Throughput(shape, data, /*vectorized=*/false, kIters, &interp_stats);
+    const double vec =
+        Throughput(shape, data, /*vectorized=*/true, kIters, &vec_stats);
+    const double speedup = vec / interp;
+
+    // Tier parity is part of the contract: same results, same CostStats.
+    HETEX_CHECK(interp_stats.tuples == vec_stats.tuples &&
+                interp_stats.ops == vec_stats.ops &&
+                interp_stats.bytes_read == vec_stats.bytes_read &&
+                interp_stats.bytes_written == vec_stats.bytes_written &&
+                interp_stats.near_accesses == vec_stats.near_accesses &&
+                interp_stats.mid_accesses == vec_stats.mid_accesses &&
+                interp_stats.far_accesses == vec_stats.far_accesses &&
+                interp_stats.atomics == vec_stats.atomics)
+        << "tier CostStats diverge on " << shape.name;
+
+    std::printf("    {\"name\": \"%s\", "
+                "\"interpreter_rows_per_sec\": %.3e, "
+                "\"vectorized_rows_per_sec\": %.3e, "
+                "\"speedup\": %.2f}%s\n",
+                shape.name.c_str(), interp, vec, speedup,
+                i + 1 < shapes.size() ? "," : "");
+    if (check && shape.name == "filter_emit" && speedup <= 1.0) {
+      check_failed = true;
+    }
+  }
+  std::printf("  ]\n}\n");
+
+  if (check_failed) {
+    std::fprintf(stderr,
+                 "FAIL: vectorized tier slower than the interpreter on the "
+                 "filter-heavy microbench\n");
+    return 1;
+  }
+  return 0;
+}

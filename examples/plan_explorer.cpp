@@ -1,17 +1,79 @@
 // Plan explorer: prints the heterogeneity-aware plans (the paper's Fig. 1e /
 // Fig. 2b artifacts) that the planner produces for an SSB query under different
-// execution policies, validates them against the §3.3 converter rules, and
-// prints the physical graph GraphBuilder lowers each plan to — so plan and
-// execution shape can be eyeballed for agreement.
+// execution policies, validates them against the §3.3 converter rules, prints
+// the physical graph GraphBuilder lowers each plan to — so plan and execution
+// shape can be eyeballed for agreement — and compiles each span through the
+// system's program cache, reporting the chosen JIT tier and the per-device
+// cache hit/miss counters.
 
 #include <cstdio>
 
+#include "core/compiler.h"
 #include "core/graph_builder.h"
+#include "core/program_cache.h"
 #include "core/system.h"
 #include "plan/het_plan.h"
 #include "ssb/ssb.h"
 
 using namespace hetex;  // NOLINT — example brevity
+
+namespace {
+
+/// Compiles every span of a lowered plan through the system's per-device
+/// program cache (as each of its worker instances would at Init) and prints the
+/// tier ConvertToMachineCode picked plus the cache traffic per span.
+void ReportSpanTiers(core::System& system, const core::GraphBuilder& builder,
+                     const plan::QuerySpec& query) {
+  const core::LoweredSpec& spec = builder.spec();
+  core::QueryCompiler compiler(query, system.catalog(), system.cost_model());
+  core::ProgramCache& cache = system.program_cache();
+
+  auto report_stage = [&](const core::StageSpec& stage, const char* label,
+                          const core::CompiledPipeline& pipeline) {
+    const auto before_cpu = cache.counters(sim::DeviceType::kCpu);
+    const auto before_gpu = cache.counters(sim::DeviceType::kGpu);
+    std::string tier = "?";
+    for (const auto& dev : stage.instances) {
+      auto provider = system.MakeProvider(dev);
+      auto r = cache.GetOrCompile(*provider, pipeline);
+      if (!r.ok()) {
+        std::printf("  %s %s: compile failed: %s\n", label,
+                    core::PipelineSpan::RoleName(stage.span.role),
+                    r.status().ToString().c_str());
+        return;
+      }
+      tier = r.value()->tier_reason;
+    }
+    const auto after_cpu = cache.counters(sim::DeviceType::kCpu);
+    const auto after_gpu = cache.counters(sim::DeviceType::kGpu);
+    std::printf(
+        "  %s %s x%zu: tier=%s cache[cpu +%llu hit/+%llu miss, gpu +%llu "
+        "hit/+%llu miss]\n",
+        label, core::PipelineSpan::RoleName(stage.span.role),
+        stage.instances.size(), tier.c_str(),
+        static_cast<unsigned long long>(after_cpu.hits - before_cpu.hits),
+        static_cast<unsigned long long>(after_cpu.misses - before_cpu.misses),
+        static_cast<unsigned long long>(after_gpu.hits - before_gpu.hits),
+        static_cast<unsigned long long>(after_gpu.misses - before_gpu.misses));
+  };
+
+  std::printf("span tiers + program cache:\n");
+  for (const auto& stage : spec.build_stages) {
+    report_stage(stage, "build", compiler.CompileSpan(stage.span, nullptr));
+  }
+  // Fact stages compile through the same schema-threading path execution uses.
+  std::vector<core::CompiledPipeline> pipelines;
+  const Status st = builder.CompileFactPipelines(&compiler, &pipelines);
+  if (!st.ok()) {
+    std::printf("  fact chain: %s\n", st.ToString().c_str());
+    return;
+  }
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    report_stage(spec.fact_stages[i], "fact", pipelines[i]);
+  }
+}
+
+}  // namespace
 
 int main() {
   core::System system(core::System::Options{});
@@ -49,7 +111,9 @@ int main() {
     core::GraphBuilder builder(&system, &plan);
     const Status lowered = builder.Analyze();
     if (lowered.ok()) {
-      std::printf("%s\n", builder.spec().ToString().c_str());
+      std::printf("%s", builder.spec().ToString().c_str());
+      ReportSpanTiers(system, builder, spec);
+      std::printf("\n");
     } else {
       std::printf("lowering: %s\n\n", lowered.ToString().c_str());
     }

@@ -364,6 +364,48 @@ struct RuntimeStage {
 
 }  // namespace
 
+Status GraphBuilder::CompileFactPipelines(
+    QueryCompiler* compiler, std::vector<CompiledPipeline>* out) const {
+  // Pipelines compile producer→consumer so a stage can read its producer's emit
+  // schema (stage B of split plans reads stage A's surviving columns).
+  const int n_fact = static_cast<int>(spec_.fact_stages.size());
+  out->assign(n_fact, {});
+  for (int i = n_fact - 1; i >= 0; --i) {
+    const PipelineSpan::Role role = spec_.fact_stages[i].span.role;
+    const PipelineSpan::Role* producer =
+        i + 1 < n_fact ? &spec_.fact_stages[i + 1].span.role : nullptr;
+    const std::vector<ColSlot>* upstream = nullptr;
+    switch (role) {
+      case PipelineSpan::Role::kProbe:
+        if (producer != nullptr) {
+          if (*producer != PipelineSpan::Role::kFilterStage) {
+            return Status::Unsupported(
+                "probe stage fed by a packed producer whose wire schema the "
+                "compiler cannot thread (only filter-stage producers supported)");
+          }
+          upstream = &(*out)[i + 1].output_cols;
+        }
+        break;
+      case PipelineSpan::Role::kFilterStage:
+        if (producer != nullptr) {
+          return Status::Unsupported(
+              "filter stage must read its source table directly");
+        }
+        break;
+      case PipelineSpan::Role::kGather:
+        if (producer != nullptr && *producer != PipelineSpan::Role::kProbe) {
+          return Status::Unsupported(
+              "gather stage must consume probe partials");
+        }
+        break;
+      case PipelineSpan::Role::kBuild:
+        return Status::Internal("build span on the fact chain");
+    }
+    (*out)[i] = compiler->CompileSpan(spec_.fact_stages[i].span, upstream);
+  }
+  return Status::OK();
+}
+
 Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   const plan::HetPlan& plan = *plan_;
   const sim::CostModel& cm = system_->topology().cost_model();
@@ -398,10 +440,20 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
         break;
     }
     cfg->hts = &hts;
+    cfg->programs = &system_->program_cache();
     cfg->block_bytes = block_bytes;
     cfg->allow_uva = stage.in.uva;
     cfg->uva_bw = cm.pcie_bw;
     return cfg;
+  };
+
+  // Lifts the first per-instance runtime error (e.g. division by zero) out of
+  // a joined worker group.
+  auto group_error = [](WorkerGroup& group) {
+    for (int i = 0; i < group.size(); ++i) {
+      if (!group.instance(i).error().ok()) return group.instance(i).error();
+    }
+    return Status::OK();
   };
 
   auto make_source = [&](const StageSpec& stage, const StageConfig& cfg,
@@ -464,50 +516,20 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     for (auto& g : builds) g.source->Join();
     for (auto& g : builds) g.group->Join();
     for (auto& g : builds) result->stats.Add(g.group->total_stats());
+    for (auto& g : builds) {
+      Status st = group_error(*g.group);
+      if (!st.ok()) return st;
+    }
   }
 
   // Probe-side clocks start at the hash-table completion watermark.
   const sim::VTime probe_start = sim::MaxT(init_clock, hts.build_done());
 
   // -------------------------------------------------------------- fact stages
-  // Pipelines compile producer→consumer so a stage can read its producer's emit
-  // schema (stage B of split plans reads stage A's surviving columns). Wire
-  // schemas bind positionally, so chains we cannot thread a schema through are
-  // rejected here instead of silently misbinding columns.
-  const int n_fact = static_cast<int>(spec_.fact_stages.size());
-  std::vector<CompiledPipeline> pipelines(n_fact);
-  for (int i = n_fact - 1; i >= 0; --i) {
-    const PipelineSpan::Role role = spec_.fact_stages[i].span.role;
-    const PipelineSpan::Role* producer =
-        i + 1 < n_fact ? &spec_.fact_stages[i + 1].span.role : nullptr;
-    const std::vector<ColSlot>* upstream = nullptr;
-    switch (role) {
-      case PipelineSpan::Role::kProbe:
-        if (producer != nullptr) {
-          if (*producer != PipelineSpan::Role::kFilterStage) {
-            return Status::Unsupported(
-                "probe stage fed by a packed producer whose wire schema the "
-                "compiler cannot thread (only filter-stage producers supported)");
-          }
-          upstream = &pipelines[i + 1].output_cols;
-        }
-        break;
-      case PipelineSpan::Role::kFilterStage:
-        if (producer != nullptr) {
-          return Status::Unsupported(
-              "filter stage must read its source table directly");
-        }
-        break;
-      case PipelineSpan::Role::kGather:
-        if (producer != nullptr && *producer != PipelineSpan::Role::kProbe) {
-          return Status::Unsupported(
-              "gather stage must consume probe partials");
-        }
-        break;
-      case PipelineSpan::Role::kBuild:
-        return Status::Internal("build span on the fact chain");
-    }
-    pipelines[i] = compiler->CompileSpan(spec_.fact_stages[i].span, upstream);
+  std::vector<CompiledPipeline> pipelines;
+  {
+    Status st = CompileFactPipelines(compiler, &pipelines);
+    if (!st.ok()) return st;
   }
 
   // Instantiation runs consumer→producer: each group needs its downstream edge,
@@ -546,6 +568,13 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     if (rt.source != nullptr) rt.source->Join();
   }
   for (auto it = stages.rbegin(); it != stages.rend(); ++it) it->group->Join();
+  for (auto& rt : stages) {
+    Status st = group_error(*rt.group);
+    if (!st.ok()) {
+      for (auto& rt2 : stages) result->stats.Add(rt2.group->total_stats());
+      return st;
+    }
+  }
 
   result->rows = sink.TakeRows();
   result->modeled_seconds =

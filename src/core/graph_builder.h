@@ -78,6 +78,16 @@ class GraphBuilder {
 
   const LoweredSpec& spec() const { return spec_; }
 
+  /// \brief Compiles the fact-chain span pipelines producer→consumer, threading
+  /// packed wire schemas (stage B of a split plan reads stage A's emit schema).
+  ///
+  /// Wire schemas bind positionally, so chains a schema cannot be threaded
+  /// through are rejected here instead of silently misbinding columns. Shared
+  /// by Run() and tooling (plan_explorer's tier report) so both describe the
+  /// same programs. `out` is filled in fact-stage order (consumer first).
+  Status CompileFactPipelines(QueryCompiler* compiler,
+                              std::vector<CompiledPipeline>* out) const;
+
   /// Instantiates the runtime objects from the analyzed spec and executes the
   /// query, filling `result` (rows, modeled/virtual time, work stats).
   Status Run(QueryCompiler* compiler, QueryResult* result);

@@ -39,7 +39,7 @@ class VmProcessor : public BlockProcessor {
                           sim::VTime ready_at);
 
   const StageConfig* cfg_;
-  jit::PipelineProgram program_;
+  std::shared_ptr<const jit::PipelineProgram> program_;
   std::vector<void*> ht_slots_;
   std::unique_ptr<jit::AggHashTable> agg_ht_;
   int64_t instance_accs_[jit::kMaxLocalAccs] = {};
@@ -49,8 +49,27 @@ class VmProcessor : public BlockProcessor {
 };
 
 void VmProcessor::Init(WorkerInstance& inst) {
-  program_ = cfg_->pipeline.program;  // per-instance copy of the template
-  HETEX_CHECK_OK(inst.provider().ConvertToMachineCode(&program_));
+  if (cfg_->programs != nullptr) {
+    // Cached finalization: the N instances of this span share one compiled
+    // program per device kind (finalized exactly once).
+    auto r = cfg_->programs->GetOrCompile(inst.provider(), cfg_->pipeline);
+    if (!r.ok()) {
+      // Validation rejections (e.g. a statically-zero divisor) surface as
+      // QueryResult::status: the instance drains its input without executing.
+      inst.NoteError(r.status());
+      return;
+    }
+    program_ = std::move(r.value());
+  } else {
+    auto local =
+        std::make_shared<jit::PipelineProgram>(cfg_->pipeline.program);
+    Status st = inst.provider().ConvertToMachineCode(local.get());
+    if (!st.ok()) {
+      inst.NoteError(std::move(st));
+      return;
+    }
+    program_ = std::move(local);
+  }
 
   const auto& pipeline = cfg_->pipeline;
   size_t n_slots = pipeline.ht_join_slots.size();
@@ -77,17 +96,17 @@ void VmProcessor::Init(WorkerInstance& inst) {
     ht_slots_[pipeline.agg_ht_slot] = agg_ht_.get();
   }
 
-  if (program_.n_local_accs > 0) {
+  if (program_->n_local_accs > 0) {
     if (is_gpu(inst)) {
       shared_accs_ = static_cast<std::atomic<int64_t>*>(inst.provider().AllocStateVar(
-          program_.n_local_accs * sizeof(int64_t)));
-      for (int i = 0; i < program_.n_local_accs; ++i) {
-        shared_accs_[i].store(jit::AggIdentity(program_.local_acc_funcs[i]),
+          program_->n_local_accs * sizeof(int64_t)));
+      for (int i = 0; i < program_->n_local_accs; ++i) {
+        shared_accs_[i].store(jit::AggIdentity(program_->local_acc_funcs[i]),
                               std::memory_order_relaxed);
       }
     } else {
-      for (int i = 0; i < program_.n_local_accs; ++i) {
-        instance_accs_[i] = jit::AggIdentity(program_.local_acc_funcs[i]);
+      for (int i = 0; i < program_->n_local_accs; ++i) {
+        instance_accs_[i] = jit::AggIdentity(program_->local_acc_funcs[i]);
       }
     }
   }
@@ -139,9 +158,10 @@ void VmProcessor::PushPending(WorkerInstance& inst, sim::VTime ready_at) {
 }
 
 void VmProcessor::ProcessMsg(WorkerInstance& inst, DataMsg& msg) {
+  if (!inst.error().ok()) return;  // already failed: drain without executing
   const auto& pipeline = cfg_->pipeline;
   HETEX_CHECK(msg.cols.size() == pipeline.input_cols.size())
-      << "schema mismatch in " << program_.label << ": got " << msg.cols.size()
+      << "schema mismatch in " << program_->label << ": got " << msg.cols.size()
       << " cols, want " << pipeline.input_cols.size();
 
   std::vector<jit::ColumnBinding> bindings(msg.cols.size());
@@ -149,7 +169,7 @@ void VmProcessor::ProcessMsg(WorkerInstance& inst, DataMsg& msg) {
     bindings[i] = {msg.cols[i].data(), pipeline.input_cols[i].width};
     if (is_gpu(inst) && !cfg_->allow_uva) {
       HETEX_CHECK(msg.cols[i].node() == inst.node())
-          << "GPU pipeline " << program_.label
+          << "GPU pipeline " << program_->label
           << " received non-local block (mem-move missing?)";
     }
   }
@@ -200,9 +220,15 @@ void VmProcessor::ProcessMsg(WorkerInstance& inst, DataMsg& msg) {
   req.shared_accs = shared_accs_;
   req.earliest = sim::MaxT(inst.clock(), msg.ReadyAt());
 
-  jit::ExecResult result = inst.provider().Execute(program_, req);
+  jit::ExecResult result = inst.provider().Execute(*program_, req);
   inst.stats().Add(result.stats);
   inst.set_clock(result.end);
+  if (!result.status.ok()) {
+    // Runtime failure (e.g. division by zero): record it and stop doing work;
+    // remaining input is drained so the pipeline still terminates cleanly.
+    inst.NoteError(std::move(result.status));
+    return;
+  }
 
   if (has_emit && gpu) {
     for (auto& bucket : buckets_) {
@@ -248,6 +274,20 @@ void VmProcessor::EmitRowsDownstream(WorkerInstance& inst,
 }
 
 void VmProcessor::Finish(WorkerInstance& inst) {
+  if (!inst.error().ok()) {
+    // Failed instance: skip the pipeline-breaker flush (its state is partial),
+    // but still run the resource cleanup below.
+    if (shared_accs_ != nullptr) {
+      inst.provider().FreeStateVar(shared_accs_);
+      shared_accs_ = nullptr;
+    }
+    for (auto& bucket : buckets_) ReleaseBucketBlocks(inst, *bucket);
+    buckets_.clear();
+    for (auto& msg : pending_) ReleaseMsgBlocks(&inst.system(), msg, inst.node());
+    pending_.clear();
+    agg_ht_.reset();
+    return;
+  }
   switch (cfg_->role) {
     case StageConfig::Role::kBuild:
       cfg_->hts->NoteBuildDone(inst.clock());
@@ -281,9 +321,9 @@ void VmProcessor::Finish(WorkerInstance& inst) {
           }
           partials.push_back(std::move(row));
         });
-      } else if (program_.n_local_accs > 0) {
+      } else if (program_->n_local_accs > 0) {
         std::vector<int64_t> row;
-        for (int i = 0; i < program_.n_local_accs; ++i) {
+        for (int i = 0; i < program_->n_local_accs; ++i) {
           row.push_back(shared_accs_ != nullptr
                             ? shared_accs_[i].load(std::memory_order_relaxed)
                             : instance_accs_[i]);
@@ -308,9 +348,9 @@ void VmProcessor::Finish(WorkerInstance& inst) {
         });
         std::sort(rows.begin(), rows.end());
         for (auto& row : rows) cfg_->result->AddRow(std::move(row), inst.clock());
-      } else if (program_.n_local_accs > 0) {
+      } else if (program_->n_local_accs > 0) {
         std::vector<int64_t> row;
-        for (int i = 0; i < program_.n_local_accs; ++i) row.push_back(instance_accs_[i]);
+        for (int i = 0; i < program_->n_local_accs; ++i) row.push_back(instance_accs_[i]);
         cfg_->result->AddRow(std::move(row), inst.clock());
       }
       break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/compiler.h"
+#include "core/program_cache.h"
 #include "core/runtime.h"
 
 namespace hetex::core {
@@ -25,6 +26,10 @@ struct StageConfig {
 
   Role role = Role::kProbe;
   CompiledPipeline pipeline;
+
+  /// Per-device program cache: the group's N instances finalize each distinct
+  /// span program exactly once. Null = every instance finalizes its own copy.
+  ProgramCache* programs = nullptr;
 
   HtRegistry* hts = nullptr;
   Edge* out = nullptr;          ///< downstream edge (null for gather)

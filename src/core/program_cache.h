@@ -1,0 +1,66 @@
+#ifndef HETEX_CORE_PROGRAM_CACHE_H_
+#define HETEX_CORE_PROGRAM_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compiler.h"
+#include "jit/device_provider.h"
+
+namespace hetex::core {
+
+/// \brief Per-device cache of finalized (validated + tier-lowered) pipeline
+/// programs, keyed by span signature: program code hash + binding schema.
+///
+/// The N worker instances of a span all request the same program template; the
+/// cache finalizes it once per device kind and hands every instance the same
+/// immutable compiled program. Because the cache lives on the System (not the
+/// per-query QueryCompiler), repeated ExecutePlan runs of the same query also
+/// stop re-finalizing identical programs. Hash collisions are harmless: entries
+/// under one hash are compared field-by-field before reuse.
+class ProgramCache {
+ public:
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  ///< one finalization per miss
+  };
+
+  /// Returns the finalized program for `pipeline` on `provider`'s device kind,
+  /// finalizing (ConvertToMachineCode) on first use. Thread-safe.
+  Result<std::shared_ptr<const jit::PipelineProgram>> GetOrCompile(
+      jit::DeviceProvider& provider, const CompiledPipeline& pipeline);
+
+  /// Hit/miss counters of one device kind (the per-device view plan_explorer
+  /// and the parity/bench tooling print).
+  Counters counters(sim::DeviceType type) const;
+
+  uint64_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::vector<jit::Instr> code;       // template code (pre-finalize identity)
+    std::vector<uint32_t> widths;       // binding schema: input column widths
+    std::string label;                  // span identity (runtime diagnostics)
+    int n_regs = 0;
+    int n_local_accs = 0;
+    jit::AggFunc funcs[jit::kMaxLocalAccs] = {};
+    std::shared_ptr<const jit::PipelineProgram> compiled;
+  };
+
+  static uint64_t Signature(const CompiledPipeline& pipeline);
+  static bool Matches(const Entry& e, const CompiledPipeline& pipeline);
+
+  mutable std::mutex mu_;
+  // (device kind + tier policy, signature) -> entries (same-hash chain).
+  std::map<std::pair<int, uint64_t>, std::vector<Entry>> entries_;
+  Counters counters_[2];  // indexed by sim::DeviceType
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_PROGRAM_CACHE_H_

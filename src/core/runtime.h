@@ -71,6 +71,14 @@ class WorkerInstance {
 
   sim::CostStats& stats() { return stats_; }
 
+  /// First runtime error of this instance (e.g. a division-by-zero surfaced by
+  /// the JIT tiers). Set by the instance's own worker thread; read by the
+  /// orchestrator after Join() and lifted into QueryResult::status.
+  const Status& error() const { return error_; }
+  void NoteError(Status st) {
+    if (error_.ok() && !st.ok()) error_ = std::move(st);
+  }
+
   /// Estimated virtual time at which this instance would finish everything
   /// already queued for it — the router's load-balancing signal (virtual-time
   /// equivalent of the paper's queue-backpressure balancing). `cost_prior` is
@@ -101,6 +109,7 @@ class WorkerInstance {
   std::atomic<int> pending_{0};
   std::atomic<double> ema_block_cost_{0};
   sim::CostStats stats_;
+  Status error_;
 };
 
 /// \brief Router + mem-move runtime between producer pipelines and a set of

@@ -2,10 +2,13 @@
 
 namespace hetex::core {
 
+System::System() : System(Options{}) {}
+
 System::System(Options options)
     : topology_(options.topology),
       memory_(topology_),
-      blocks_(topology_, options.blocks) {
+      blocks_(topology_, options.blocks),
+      tier_policy_(options.tier_policy) {
   dma_ = std::make_unique<sim::DmaEngine>(&topology_);
   for (int g = 0; g < topology_.num_gpus(); ++g) {
     gpus_.push_back(
@@ -14,12 +17,16 @@ System::System(Options options)
 }
 
 std::unique_ptr<jit::DeviceProvider> System::MakeProvider(sim::DeviceId device) {
+  std::unique_ptr<jit::DeviceProvider> provider;
   if (device.is_cpu()) {
-    return std::make_unique<jit::CpuProvider>(device.index, &topology_, &memory_,
-                                              &blocks_);
+    provider = std::make_unique<jit::CpuProvider>(device.index, &topology_,
+                                                  &memory_, &blocks_);
+  } else {
+    provider = std::make_unique<jit::GpuProvider>(gpus_.at(device.index).get(),
+                                                  &topology_, &memory_, &blocks_);
   }
-  return std::make_unique<jit::GpuProvider>(gpus_.at(device.index).get(), &topology_,
-                                            &memory_, &blocks_);
+  provider->set_tier_policy(tier_policy_);
+  return provider;
 }
 
 std::vector<sim::MemNodeId> System::HostNodes() const {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/program_cache.h"
 #include "jit/device_provider.h"
 #include "memory/block_manager.h"
 #include "memory/memory_manager.h"
@@ -25,9 +26,14 @@ class System {
   struct Options {
     sim::Topology::Options topology;
     memory::BlockRegistry::Options blocks;
+    /// JIT tier selection for every provider this system creates. kAuto picks
+    /// the vectorized batch tier when a program's shape allows it; parity
+    /// suites pin kForceInterpreter to diff the two tiers.
+    jit::TierPolicy tier_policy = jit::TierPolicy::kAuto;
   };
 
-  explicit System(Options options = {});
+  System();  // default Options
+  explicit System(Options options);
 
   sim::Topology& topology() { return topology_; }
   const sim::CostModel& cost_model() const { return topology_.cost_model(); }
@@ -37,6 +43,11 @@ class System {
   memory::MemoryRegistry& memory() { return memory_; }
   memory::BlockRegistry& blocks() { return blocks_; }
   storage::Catalog& catalog() { return catalog_; }
+
+  /// Per-device cache of finalized pipeline programs. Lives on the system so
+  /// repeated query runs reuse finalized spans (see ProgramCache).
+  ProgramCache& program_cache() { return program_cache_; }
+  jit::TierPolicy tier_policy() const { return tier_policy_; }
 
   /// Creates a provider for a compute device (see jit::DeviceProvider).
   std::unique_ptr<jit::DeviceProvider> MakeProvider(sim::DeviceId device);
@@ -60,6 +71,8 @@ class System {
   std::unique_ptr<sim::DmaEngine> dma_;
   std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
   storage::Catalog catalog_;
+  ProgramCache program_cache_;
+  jit::TierPolicy tier_policy_ = jit::TierPolicy::kAuto;
 };
 
 }  // namespace hetex::core

@@ -1,35 +1,186 @@
 #include "jit/device_provider.h"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
 
 #include "common/logging.h"
+#include "jit/vectorizer.h"
 
 namespace hetex::jit {
 
-Status DeviceProvider::ConvertToMachineCode(PipelineProgram* program) {
-  // Validate register and jump ranges — the moral equivalent of IR verification
-  // before backend lowering.
-  const int n = static_cast<int>(program->code.size());
-  if (n == 0 || program->code.back().op != OpCode::kEnd) {
-    return Status::Internal("pipeline '" + program->label + "' missing kEnd");
+namespace {
+
+/// True when the opcode computes regs[a] = f(regs[b], regs[c]).
+bool IsBinaryAluOp(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+    case OpCode::kCmpLt:
+    case OpCode::kCmpLe:
+    case OpCode::kCmpGt:
+    case OpCode::kCmpGe:
+    case OpCode::kCmpEq:
+    case OpCode::kCmpNe:
+    case OpCode::kAnd:
+    case OpCode::kOr:
+      return true;
+    default:
+      return false;
   }
-  for (const Instr& in : program->code) {
+}
+
+}  // namespace
+
+Status ValidateProgram(const PipelineProgram& program) {
+  const int n = static_cast<int>(program.code.size());
+  const int n_regs = program.n_regs;
+  auto err = [&program](const std::string& what, int pc) {
+    return Status::Internal("pipeline '" + program.label + "': " + what +
+                            " at pc " + std::to_string(pc));
+  };
+  if (n == 0 || program.code.back().op != OpCode::kEnd) {
+    return Status::Internal("pipeline '" + program.label + "' missing kEnd");
+  }
+  if (n_regs < 0 || n_regs > kMaxRegs) {
+    return Status::Internal("pipeline '" + program.label +
+                            "': register pressure exceeds VM register file");
+  }
+  if (program.n_local_accs < 0 || program.n_local_accs > kMaxLocalAccs) {
+    return Status::Internal("pipeline '" + program.label +
+                            "': local accumulator count out of range");
+  }
+
+  auto reg_ok = [n_regs](int r) { return r >= 0 && r < n_regs; };
+  auto window_ok = [n_regs](int first, int count) {
+    return count >= 0 && first >= 0 && first + count <= n_regs;
+  };
+  auto slot_ok = [](int s) { return s >= 0 && s < kMaxHtSlots; };
+
+  // Registers that can hold a zero constant (conservative: any kConst 0 ever
+  // written to the register taints it for the whole program, so a jump cannot
+  // smuggle a zero past a linear scan).
+  std::array<bool, kMaxRegs> zero_const{};
+  for (const Instr& in : program.code) {
+    if (in.op == OpCode::kConst && in.imm == 0 && in.a >= 0 && in.a < kMaxRegs) {
+      zero_const[in.a] = true;
+    }
+  }
+
+  for (int pc = 0; pc < n; ++pc) {
+    const Instr& in = program.code[pc];
     switch (in.op) {
+      case OpCode::kConst:
+        if (!reg_ok(in.a)) return err("register out of range", pc);
+        break;
+      case OpCode::kLoadCol:
+        if (!reg_ok(in.a)) return err("register out of range", pc);
+        if (in.b < 0) return err("negative input column", pc);
+        break;
+      case OpCode::kShl:
+      case OpCode::kNot:
+      case OpCode::kHash:
+        if (!reg_ok(in.a) || !reg_ok(in.b)) {
+          return err("register out of range", pc);
+        }
+        break;
+      case OpCode::kFilter:
+        if (!reg_ok(in.a)) return err("register out of range", pc);
+        break;
       case OpCode::kJmp:
-        if (in.a < 0 || in.a >= n) return Status::Internal("jump out of range");
+        if (in.a < 0) return err("jump to unbound label", pc);
+        if (in.a >= n) return err("jump out of range", pc);
         break;
       case OpCode::kJmpIfFalse:
       case OpCode::kJmpIfNeg:
-        if (in.b < 0 || in.b >= n) return Status::Internal("jump out of range");
+        if (!reg_ok(in.a)) return err("register out of range", pc);
+        if (in.b < 0) return err("jump to unbound label", pc);
+        if (in.b >= n) return err("jump out of range", pc);
+        break;
+      case OpCode::kHtInsert:
+        if (!slot_ok(in.a)) return err("hash-table slot out of range", pc);
+        if (!reg_ok(in.b)) return err("register out of range", pc);
+        if (in.d > 8 || !window_ok(in.c, in.d)) {
+          return err("payload register window out of range", pc);
+        }
+        break;
+      case OpCode::kHtProbeInit:
+      case OpCode::kHtIterNext:
+        if (!reg_ok(in.a) || !reg_ok(in.b)) {
+          return err("register out of range", pc);
+        }
+        if (!slot_ok(in.c)) return err("hash-table slot out of range", pc);
+        break;
+      case OpCode::kHtLoadPayload:
+        if (!reg_ok(in.b)) return err("register out of range", pc);
+        if (!slot_ok(in.c)) return err("hash-table slot out of range", pc);
+        if (in.d > 8 || !window_ok(in.a, in.d)) {
+          return err("payload register window out of range", pc);
+        }
+        break;
+      case OpCode::kAggLocal:
+        if (in.a < 0 || in.a >= program.n_local_accs) {
+          return err("local accumulator out of range", pc);
+        }
+        if (!reg_ok(in.b)) return err("register out of range", pc);
+        break;
+      case OpCode::kGroupByAgg:
+        if (!slot_ok(in.a)) return err("hash-table slot out of range", pc);
+        if (!reg_ok(in.b)) return err("register out of range", pc);
+        if (in.d < 1 || in.d > 8 || !window_ok(in.c, in.d)) {
+          return err("aggregate register window out of range", pc);
+        }
+        break;
+      case OpCode::kEmit:
+        if (!window_ok(in.a, in.b)) {
+          return err("emit register window out of range", pc);
+        }
+        if (in.d != 0 && !reg_ok(in.c)) {
+          return err("register out of range", pc);
+        }
+        break;
+      case OpCode::kEnd:
         break;
       default:
+        if (IsBinaryAluOp(in.op)) {
+          if (!reg_ok(in.a) || !reg_ok(in.b) || !reg_ok(in.c)) {
+            return err("register out of range", pc);
+          }
+          if (in.op == OpCode::kDiv && zero_const[in.c]) {
+            return err("divisor register can hold a zero constant", pc);
+          }
+        } else {
+          return err("unknown opcode", pc);
+        }
         break;
     }
   }
-  if (program->n_regs > kMaxRegs) {
-    return Status::Internal("register pressure exceeds VM register file");
-  }
+  return Status::OK();
+}
+
+Status DeviceProvider::ConvertToMachineCode(PipelineProgram* program) {
+  // IR verification before backend lowering.
+  HETEX_RETURN_NOT_OK(ValidateProgram(*program));
   program->finalized = true;
+
+  // Tier selection: attempt the vectorized batch backend; fall back to the row
+  // interpreter for shapes the vectorizer cannot prove.
+  program->tier = ExecTier::kInterpreter;
+  program->vec.reset();
+  if (tier_policy_ == TierPolicy::kAuto) {
+    VectorizeResult vec = TryVectorize(*program);
+    if (vec.program != nullptr) {
+      program->tier = ExecTier::kVectorized;
+      program->vec = std::move(vec.program);
+      program->tier_reason = "vectorized";
+    } else {
+      program->tier_reason = "interpreter: " + vec.reason;
+    }
+  } else {
+    program->tier_reason = "interpreter: tier policy forces tier 0";
+  }
   return Status::OK();
 }
 
@@ -62,7 +213,7 @@ ExecResult CpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
   ctx.row_begin = 0;   // threadIdInWorker -> 0
   ctx.row_step = 1;    // #threadsInWorker -> 1
 
-  RunRows(program, ctx, req.rows);
+  result.status = Run(program, ctx, req.rows);
 
   const sim::CostModel& cm = topo_->cost_model();
   // Fluid share of the socket's DRAM bandwidth across this query's workers.
@@ -91,6 +242,8 @@ ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
     HETEX_CHECK(req.emit->atomic_append)
         << "GPU pipelines append to output blocks with device atomics";
   }
+  std::mutex err_mu;
+  Status first_error;
   auto kernel = [&](const sim::KernelCtx& kctx) {
     ExecCtx ctx;
     ctx.cols = req.cols;
@@ -110,7 +263,12 @@ ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
     }
     ctx.local_accs = local_accs;
 
-    RunRows(program, ctx, req.rows);
+    const Status st = Run(program, ctx, req.rows);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
 
     if (program.n_local_accs > 0) {
       HETEX_CHECK(req.shared_accs != nullptr)
@@ -126,6 +284,7 @@ ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
                                    sim::GpuDevice::kDefaultBlockDim, req.earliest,
                                    stream_bw_);
   ExecResult result;
+  result.status = std::move(first_error);
   result.stats = launch.stats;
   result.end = launch.end;
   return result;

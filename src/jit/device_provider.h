@@ -33,9 +33,17 @@ struct ExecRequest {
 
 /// Result of executing one block through a pipeline.
 struct ExecResult {
+  Status status;           ///< runtime failure (e.g. division by zero)
   sim::VTime end = 0;      ///< modeled completion time
   sim::CostStats stats;    ///< work performed
 };
+
+/// \brief Standalone program verification used by ConvertToMachineCode:
+/// kEnd-termination, jump targets in range and label-patched, register operands
+/// (including windows) within n_regs, hash-table slots and accumulator indices
+/// bound, and rejection of programs whose divisor register can hold a zero
+/// constant.
+Status ValidateProgram(const PipelineProgram& program);
 
 /// \brief Device provider: the device-independent utility interface of the
 /// paper's Table 1.
@@ -76,15 +84,29 @@ class DeviceProvider {
   virtual memory::Block* GetBuffer() = 0;
   virtual void ReleaseBuffer(memory::Block* block) = 0;
 
-  /// Finalizes ("compiles") a generated program for this device: validates the
-  /// code and marks it executable. Mirrors IR optimization + backend lowering.
+  /// \brief Finalizes ("compiles") a generated program for this device — the
+  /// tiering point of the JIT layer.
+  ///
+  /// Validates the code (ValidateProgram), then attempts to lower it to the
+  /// vectorized batch tier; program shapes the vectorizer cannot prove fall
+  /// back to the row interpreter (tracked and logged, never silent). Mirrors IR
+  /// verification + backend lowering.
   virtual Status ConvertToMachineCode(PipelineProgram* program);
 
   /// Executes one block through a finalized program, advancing virtual time.
+  /// Dispatches to the tier ConvertToMachineCode installed on the program.
   virtual ExecResult Execute(const PipelineProgram& program, ExecRequest& req) = 0;
 
   /// The memory manager backing AllocStateVar.
   virtual memory::MemoryManager& memory_manager() = 0;
+
+  /// Tier selection override (kForceInterpreter pins tier 0 — used by the
+  /// differential parity suites and benchmarks).
+  void set_tier_policy(TierPolicy policy) { tier_policy_ = policy; }
+  TierPolicy tier_policy() const { return tier_policy_; }
+
+ private:
+  TierPolicy tier_policy_ = TierPolicy::kAuto;
 };
 
 /// CPU provider: single-threaded worker pinned to one socket; streaming bandwidth

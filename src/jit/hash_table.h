@@ -81,6 +81,22 @@ class JoinHashTable {
     return heads_[b].load(std::memory_order_acquire);
   }
 
+  /// Batched-probe decomposition: the vectorized tier hashes a whole batch of
+  /// keys in one pass (BucketOf), then resolves heads with software-pipelined
+  /// prefetching — the lookahead a tuple-at-a-time interpreter cannot do.
+  uint64_t BucketOf(int64_t key) const {
+    return HashMix64(static_cast<uint64_t>(key)) & bucket_mask_;
+  }
+  int64_t HeadOfBucket(uint64_t bucket) const {
+    return heads_[bucket].load(std::memory_order_acquire);
+  }
+  void PrefetchBucketSlot(uint64_t bucket) const {
+    __builtin_prefetch(&heads_[bucket], 0, 1);
+  }
+  void PrefetchEntry(int64_t entry) const {
+    if (entry >= 0) __builtin_prefetch(EntryAt(entry), 0, 1);
+  }
+
   /// Follows the chain from `entry` to the first entry with key == `key`
   /// (including `entry` itself); returns -1 when exhausted. `hops` counts chain
   /// links traversed (cost accounting).

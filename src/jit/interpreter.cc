@@ -1,6 +1,7 @@
 #include "jit/interpreter.h"
 
 #include "common/hash.h"
+#include "jit/vectorizer.h"
 
 namespace hetex::jit {
 
@@ -17,7 +18,7 @@ inline void CountAccess(sim::CostStats* stats, uint8_t cls, uint64_t n = 1) {
 
 }  // namespace
 
-void RunRows(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
+Status RunRows(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
   HETEX_CHECK(program.finalized) << "pipeline '" << program.label
                                  << "' executed before ConvertToMachineCode";
   const Instr* code = program.code.data();
@@ -25,6 +26,7 @@ void RunRows(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
   int64_t* regs = ctx.regs;
   uint64_t ops = 0;
   uint64_t tuples = 0;
+  Status status;
 
   for (uint64_t row = ctx.row_begin; row < rows; row += ctx.row_step) {
     ++tuples;
@@ -47,7 +49,16 @@ void RunRows(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
         case OpCode::kAdd: regs[in.a] = regs[in.b] + regs[in.c]; ++pc; break;
         case OpCode::kSub: regs[in.a] = regs[in.b] - regs[in.c]; ++pc; break;
         case OpCode::kMul: regs[in.a] = regs[in.b] * regs[in.c]; ++pc; break;
-        case OpCode::kDiv: regs[in.a] = regs[in.b] / regs[in.c]; ++pc; break;
+        case OpCode::kDiv:
+          if (regs[in.c] == 0) {
+            status =
+                Status::Internal("division by zero in pipeline '" + program.label +
+                                 "'");
+            goto done;
+          }
+          regs[in.a] = regs[in.b] / regs[in.c];
+          ++pc;
+          break;
         case OpCode::kShl: regs[in.a] = regs[in.b] << in.imm; ++pc; break;
         case OpCode::kCmpLt: regs[in.a] = regs[in.b] < regs[in.c]; ++pc; break;
         case OpCode::kCmpLe: regs[in.a] = regs[in.b] <= regs[in.c]; ++pc; break;
@@ -141,8 +152,17 @@ void RunRows(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
   next_tuple:;
   }
 
+done:
   stats->ops += ops;
   stats->tuples += tuples;
+  return status;
+}
+
+Status Run(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
+  if (program.tier == ExecTier::kVectorized && program.vec != nullptr) {
+    return RunRowsVectorized(program, ctx, rows);
+  }
+  return RunRows(program, ctx, rows);
 }
 
 void FlushLocalAccsAtomic(const PipelineProgram& program, const int64_t* local_accs,

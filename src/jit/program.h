@@ -2,6 +2,7 @@
 #define HETEX_JIT_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,23 @@ struct Instr {
 
 inline constexpr int kMaxRegs = 64;
 inline constexpr int kMaxLocalAccs = 8;
+inline constexpr int kMaxHtSlots = 16;
+
+/// \brief Execution tier a finalized program was lowered to.
+///
+/// `ConvertToMachineCode` is the tiering point: it validates the program, then
+/// attempts to lower it to the vectorized batch backend; shapes the vectorizer
+/// cannot prove fall back to the row interpreter (tracked and logged).
+enum class ExecTier : uint8_t {
+  kInterpreter,  ///< per-tuple switch-dispatch bytecode loop (tier 0)
+  kVectorized,   ///< fused batch primitives over selection vectors (tier 1)
+};
+
+/// Tier selection policy of a provider (set system-wide; tests force tier 0 to
+/// run differential parity suites against the vectorized tier).
+enum class TierPolicy : uint8_t { kAuto, kForceInterpreter };
+
+struct VectorProgram;  // defined in jit/vectorizer.h
 
 /// \brief A fused, device-agnostic pipeline program plus its state metadata.
 ///
@@ -81,6 +99,12 @@ struct PipelineProgram {
   int n_output_cols = 0;
   bool finalized = false;   ///< set by DeviceProvider::ConvertToMachineCode
   std::string label;        ///< for plan/debug printing
+
+  // Set by ConvertToMachineCode (the tiering point). Both tiers produce
+  // identical results and identical CostStats; only the harness speed differs.
+  ExecTier tier = ExecTier::kInterpreter;
+  std::shared_ptr<const VectorProgram> vec;  ///< non-null iff tier == kVectorized
+  std::string tier_reason;  ///< "vectorized" or the vectorizer's fallback reason
 
   std::string ToString() const;
 };

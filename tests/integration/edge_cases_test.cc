@@ -103,6 +103,50 @@ TEST(EdgeCases, SingleGpuHybridUsesRemoteSocketBlocks) {
   EXPECT_EQ(r.rows, expected);
 }
 
+TEST(EdgeCases, DivisionByZeroSurfacesAsQueryStatus) {
+  // A zero divisor mid-stream must surface as QueryResult::status (not UB and
+  // not an abort), propagated from the JIT tier through the worker instance.
+  TestEnv env(2'000);
+  auto* t = env.system->catalog().CreateTable("divtab");
+  auto* a = t->AddColumn("a", storage::ColType::kInt64);
+  auto* d = t->AddColumn("d", storage::ColType::kInt64);
+  for (int i = 0; i < 1000; ++i) {
+    a->Append(i);
+    d->Append(i == 500 ? 0 : 2);
+  }
+  HETEX_CHECK_OK(t->Place(env.system->HostNodes(), &env.system->memory()));
+
+  plan::QuerySpec q;
+  q.name = "div-zero";
+  q.fact_table = "divtab";
+  q.aggs.push_back({plan::Expr::Bin(plan::Expr::BinOp::kDiv, plan::Col("a"),
+                                    plan::Col("d")),
+                    jit::AggFunc::kSum, "s"});
+  q.expected_groups = 1;
+  const auto r = env.Run(q, TestEnv::Tune(ExecPolicy::CpuOnly(2)));
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.message().find("division by zero"), std::string::npos)
+      << r.status.ToString();
+}
+
+TEST(EdgeCases, StaticZeroDivisorRejectedAsStatus) {
+  // A literal-zero divisor is rejected by ConvertToMachineCode validation and
+  // must surface as QueryResult::status (not abort the worker process).
+  TestEnv env(2'000);
+  plan::QuerySpec q;
+  q.name = "div-zero-const";
+  q.fact_table = "lineorder";
+  q.aggs.push_back({plan::Expr::Bin(plan::Expr::BinOp::kDiv,
+                                    plan::Col("lo_revenue"), plan::Lit(0)),
+                    jit::AggFunc::kSum, "s"});
+  q.expected_groups = 1;
+  const auto r = env.Run(q, TestEnv::Tune(ExecPolicy::CpuOnly(1)));
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.message().find("divisor register can hold a zero constant"),
+            std::string::npos)
+      << r.status.ToString();
+}
+
 TEST(EdgeCases, WideGroupByNearCapacity) {
   // Group count close to expected_groups exercises the agg-table headroom.
   TestEnv env(20'000);
