@@ -5,14 +5,29 @@
 // shape can be eyeballed for agreement — and compiles each span through the
 // system's program cache, reporting the chosen JIT tier and the per-device
 // cache hit/miss counters.
+//
+// It then runs the cost-based optimizer: the ranked candidate table shows each
+// enumerated plan's *estimated* virtual-time cost next to its *measured*
+// virtual time (every candidate is executed), with the picked plan marked.
+//
+// Flags:
+//   --json             machine-readable candidate ranking on stdout (exits
+//                      non-zero when a query yields no candidates/picked plan)
+//   --queries 1.1,3.1  comma-separated SSB queries for the optimizer section
+//                      (default: 3.1 in human mode, 1.1,3.1,4.2 in JSON mode)
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/compiler.h"
+#include "core/executor.h"
 #include "core/graph_builder.h"
 #include "core/program_cache.h"
 #include "core/system.h"
 #include "plan/het_plan.h"
+#include "plan/optimizer.h"
 #include "ssb/ssb.h"
 
 using namespace hetex;  // NOLINT — example brevity
@@ -73,13 +88,129 @@ void ReportSpanTiers(core::System& system, const core::GraphBuilder& builder,
   }
 }
 
+/// Optimizer section: enumerate → cost → rank, then execute every candidate to
+/// put the measured virtual time next to the estimate. Returns false when the
+/// candidate set is empty or no plan could be picked.
+bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
+                     bool json, bool first_json) {
+  plan::ExecPolicy base = plan::ExecPolicy::Hybrid(8);
+  base.block_rows = 4096;
+
+  core::QueryExecutor executor(&system);
+  plan::OptimizeResult opt;
+  const Status st = executor.Optimize(spec, base, &opt);
+  if (!st.ok() || opt.ranked.empty()) {
+    if (json) {
+      std::printf("%s{\"query\": \"%s\", \"error\": \"%s\"}", first_json ? "" : ",\n",
+                  spec.name.c_str(), st.ToString().c_str());
+    } else {
+      std::printf("optimizer: %s\n", st.ToString().c_str());
+    }
+    return false;
+  }
+
+  struct Row {
+    const plan::RankedCandidate* cand;
+    double measured;
+  };
+  std::vector<Row> rows;
+  double best_measured = -1;
+  for (const auto& rc : opt.ranked) {
+    const core::QueryResult r = executor.ExecutePlan(spec, rc.candidate.plan);
+    const double measured = r.status.ok() ? r.modeled_seconds : -1;
+    if (measured >= 0 && (best_measured < 0 || measured < best_measured)) {
+      best_measured = measured;
+    }
+    rows.push_back({&rc, measured});
+  }
+
+  if (json) {
+    std::printf("%s{\"query\": \"%s\", \"picked\": \"%s\", \"candidates\": [",
+                first_json ? "" : ",\n", spec.name.c_str(),
+                opt.best().label.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%s\n  {\"label\": \"%s\", \"estimated\": %.9f, "
+                  "\"measured\": %.9f, \"chosen\": %s}",
+                  i == 0 ? "" : ",", rows[i].cand->candidate.label.c_str(),
+                  rows[i].cand->cost.total, rows[i].measured,
+                  i == 0 ? "true" : "false");
+    }
+    std::printf("\n]}");
+  } else {
+    std::printf("=== optimizer: %s ===\n%s\n", spec.name.c_str(),
+                opt.cards.ToString().c_str());
+    std::printf("%-26s %12s %12s  %s\n", "candidate", "estimated", "measured",
+                "");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%-26s %12.6f %12.6f  %s%s\n",
+                  rows[i].cand->candidate.label.c_str(),
+                  rows[i].cand->cost.total, rows[i].measured,
+                  i == 0 ? "<- picked" : "",
+                  rows[i].measured >= 0 && rows[i].measured <= best_measured
+                      ? " (measured best)"
+                      : "");
+    }
+    std::printf("\n");
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string queries_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries_arg = argv[++i];
+    }
+  }
+  if (queries_arg.empty()) queries_arg = json ? "1.1,3.1,4.2" : "3.1";
+
   core::System system(core::System::Options{});
   ssb::Ssb::Options opts;
-  opts.lineorder_rows = 1000;  // plans only; no execution
+  opts.lineorder_rows = 30'000;  // small but large enough to execute candidates
   ssb::Ssb ssb(opts, &system.catalog());
+  for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+    const Status st =
+        system.catalog().at(name).Place(system.HostNodes(), &system.memory());
+    if (!st.ok()) {
+      std::fprintf(stderr, "place %s: %s\n", name, st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Parse "f.i,f.i" into query specs; malformed tokens are reported, not fatal.
+  std::vector<plan::QuerySpec> opt_queries;
+  for (size_t pos = 0; pos < queries_arg.size();) {
+    size_t comma = queries_arg.find(',', pos);
+    if (comma == std::string::npos) comma = queries_arg.size();
+    const std::string q = queries_arg.substr(pos, comma - pos);
+    pos = comma + 1;
+    int flight = 0, idx = 0;
+    if (std::sscanf(q.c_str(), "%d.%d", &flight, &idx) != 2 || idx < 1 ||
+        idx > ssb::Ssb::FlightSize(flight)) {
+      std::fprintf(stderr, "skipping malformed query token '%s'\n", q.c_str());
+      continue;
+    }
+    opt_queries.push_back(ssb.Query(flight, idx));
+  }
+  if (opt_queries.empty()) {
+    std::fprintf(stderr, "no valid --queries; expected \"f.i,f.i\" (e.g. 3.1)\n");
+    return 1;
+  }
+
+  if (json) {
+    bool ok = true;
+    std::printf("[");
+    for (size_t i = 0; i < opt_queries.size(); ++i) {
+      ok = ReportOptimizer(system, opt_queries[i], /*json=*/true, i == 0) && ok;
+    }
+    std::printf("]\n");
+    return ok ? 0 : 1;
+  }
 
   const plan::QuerySpec spec = ssb.Query(3, 1);
 
@@ -118,5 +249,10 @@ int main() {
       std::printf("lowering: %s\n\n", lowered.ToString().c_str());
     }
   }
-  return 0;
+
+  bool ok = true;
+  for (const auto& q : opt_queries) {
+    ok = ReportOptimizer(system, q, /*json=*/false, false) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -47,6 +47,13 @@ int main() {
                 result.modeled_seconds * 1e3, gbps, result.wall_seconds * 1e3);
   }
 
+  // Default path: no policy — the cost-based optimizer enumerates candidate
+  // plans, prices them with the virtual-time model and runs the cheapest.
+  core::QueryResult best = executor.Execute(query);
+  std::printf("optimized (default)    sum=%lld  modeled %7.2f ms\n",
+              static_cast<long long>(best.rows[0][0]),
+              best.modeled_seconds * 1e3);
+
   // The heterogeneity-aware plan the hybrid policy runs (Fig. 2b analogue):
   plan::HetPlan plan = plan::BuildHetPlan(query, plan::ExecPolicy::Hybrid(),
                                           system.topology());

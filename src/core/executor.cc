@@ -6,10 +6,42 @@
 
 namespace hetex::core {
 
+QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec) {
+  return ExecuteOptimized(spec, plan::ExecPolicy{});
+}
+
 QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec,
                                    const plan::ExecPolicy& policy) {
   return ExecutePlan(spec,
                      plan::BuildHetPlan(spec, policy, system_->topology()));
+}
+
+Status QueryExecutor::Optimize(const plan::QuerySpec& spec,
+                               const plan::ExecPolicy& base,
+                               plan::OptimizeResult* out) const {
+  plan::PlanCoster::Options opts;
+  opts.pack_block_rows = system_->blocks().options().block_bytes / 8;
+  return plan::Optimize(spec, base, system_->catalog(), system_->topology(),
+                        out, opts);
+}
+
+QueryResult QueryExecutor::ExecuteOptimized(const plan::QuerySpec& spec,
+                                            const plan::ExecPolicy& base,
+                                            plan::OptimizeResult* explain) {
+  plan::OptimizeResult local;
+  plan::OptimizeResult* result = explain != nullptr ? explain : &local;
+  QueryResult out;
+  out.status = Optimize(spec, base, result);
+  if (!out.status.ok()) return out;
+  return ExecutePlan(spec, result->best().plan);
+}
+
+std::string QueryExecutor::Explain(const plan::QuerySpec& spec,
+                                   const plan::ExecPolicy& base) const {
+  plan::OptimizeResult result;
+  const Status st = Optimize(spec, base, &result);
+  if (!st.ok()) return st.ToString() + "\n";
+  return result.ToString();
 }
 
 QueryResult QueryExecutor::ExecutePlan(const plan::QuerySpec& spec,

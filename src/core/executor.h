@@ -1,11 +1,13 @@
 #ifndef HETEX_CORE_EXECUTOR_H_
 #define HETEX_CORE_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/system.h"
 #include "plan/het_plan.h"
+#include "plan/optimizer.h"
 #include "plan/query_spec.h"
 #include "sim/cost_model.h"
 
@@ -22,11 +24,15 @@ struct QueryResult {
   sim::CostStats stats;            ///< aggregate work counters
 };
 
-/// \brief Thin orchestrator: plan → validate → lower → run → collect.
+/// \brief Thin orchestrator: (optimize →) plan → validate → lower → run → collect.
 ///
-/// The executor owns no knowledge of the execution shape. BuildHetPlan produces
-/// the heterogeneity-aware DAG (with every placement/DOP/cost parameter stamped
-/// on its nodes), ValidateHetPlan enforces the §3.3 converter rules, and
+/// The executor owns no knowledge of the execution shape. The default entry
+/// point — `Execute(spec)` — runs the cost-based optimizer: EnumeratePlans
+/// generates the candidate HetPlans the lowering supports, PlanCoster prices
+/// each with the virtual-time model, and the cheapest executes. The
+/// explicit-policy overload pins the plan shape exactly (benchmarks and
+/// ablations depend on deterministic shapes), bypassing the search.
+/// ValidateHetPlan enforces the §3.3 converter rules on every plan, and
 /// GraphBuilder lowers the validated DAG into SourceDrivers, Edges and
 /// WorkerGroups. Any plan failing validation or lowering surfaces through
 /// QueryResult::status instead of executing.
@@ -34,8 +40,28 @@ class QueryExecutor {
  public:
   explicit QueryExecutor(System* system) : system_(system) {}
 
-  /// Plans `spec` under `policy`, then runs the plan (ExecutePlan).
+  /// Optimizes by default: enumerates, costs and runs the cheapest candidate
+  /// under an unconstrained hybrid base policy.
+  QueryResult Execute(const plan::QuerySpec& spec);
+
+  /// Plans `spec` under the exact `policy` (no search), then runs the plan.
   QueryResult Execute(const plan::QuerySpec& spec, const plan::ExecPolicy& policy);
+
+  /// Enumerator → coster → picker within the degrees of freedom `base` leaves
+  /// open; runs the picked plan. `explain`, when non-null, receives the full
+  /// ranked candidate table.
+  QueryResult ExecuteOptimized(const plan::QuerySpec& spec,
+                               const plan::ExecPolicy& base,
+                               plan::OptimizeResult* explain = nullptr);
+
+  /// The optimization pipeline without execution (candidate ranking + cost
+  /// breakdowns, for tooling and tests).
+  Status Optimize(const plan::QuerySpec& spec, const plan::ExecPolicy& base,
+                  plan::OptimizeResult* out) const;
+
+  /// Human-readable ranked candidate table for `spec` under `base` (the
+  /// EXPLAIN path; returns the error text when optimization fails).
+  std::string Explain(const plan::QuerySpec& spec, const plan::ExecPolicy& base) const;
 
   /// Runs a pre-built — possibly hand-mutated — heterogeneity-aware plan.
   /// Changing the plan (router policies, placements, block granularity) changes

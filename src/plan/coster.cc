@@ -1,0 +1,800 @@
+#include "plan/coster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace hetex::plan {
+
+namespace {
+
+using Kind = HetOpNode::Kind;
+
+// Span/transport predicates mirroring the lowering's DAG partitioning (the
+// coster prices exactly the stage structure GraphBuilder instantiates).
+bool IsSpanKind(Kind k) {
+  return k == Kind::kUnpack || k == Kind::kPack || k == Kind::kHashPack ||
+         k == Kind::kFilter || k == Kind::kProject || k == Kind::kJoinBuild ||
+         k == Kind::kJoinProbe || k == Kind::kReduceLocal ||
+         k == Kind::kGroupByLocal || k == Kind::kGather;
+}
+
+bool IsTransportKind(Kind k) {
+  return k == Kind::kRouter || k == Kind::kMemMove || k == Kind::kCpu2Gpu ||
+         k == Kind::kGpu2Cpu || k == Kind::kSegmenter;
+}
+
+bool IsDecorationKind(Kind k) {
+  return k == Kind::kMemMove || k == Kind::kCpu2Gpu || k == Kind::kGpu2Cpu;
+}
+
+bool IsProducerTop(Kind k) { return k == Kind::kPack || k == Kind::kHashPack; }
+
+/// Micro-op estimate of evaluating an expression once (one VM op per node).
+double ExprOps(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  if (e->kind() != Expr::Kind::kBin) return 1;
+  return 1 + ExprOps(e->lhs()) + ExprOps(e->rhs());
+}
+
+/// Fraction of `t`'s sampled staging rows satisfying `filter`; `fallback` when
+/// the sample is unavailable (dropped staging, missing columns).
+double SampleSelectivity(const storage::Table& t, const ExprPtr& filter,
+                         double fallback) {
+  if (filter == nullptr) return 1.0;
+  std::set<std::string> cols;
+  filter->CollectColumns(&cols);
+  for (const auto& c : cols) {
+    if (t.FindColumn(c) < 0) return fallback;
+  }
+  uint64_t hits = 0;
+  const uint64_t sampled = t.SampleRows(4096, [&](uint64_t r) {
+    const RowGetter row = [&](const std::string& name) {
+      return t.column(name).At(r);
+    };
+    if (filter->Eval(row) != 0) ++hits;
+  });
+  if (sampled == 0) return fallback;
+  // Clamp away from exactly zero: a sample miss is not proof of emptiness.
+  const double sel = static_cast<double>(hits) / static_cast<double>(sampled);
+  return std::max(sel, 0.5 / static_cast<double>(sampled));
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return b == 0 ? 0 : (a + b - 1) / b; }
+
+/// Row count for cardinality estimation: staging rows, falling back to the
+/// placed chunk totals when staging was dropped (DropStaging keeps the placed
+/// data — and its row counts — intact).
+uint64_t TableRows(const storage::Table& t) {
+  if (t.rows() > 0) return t.rows();
+  uint64_t placed = 0;
+  for (const auto& chunk : t.chunks()) placed += chunk.rows;
+  return placed;
+}
+
+// ---------------------------------------------------------------------------
+// Structural walk: decompose the DAG into the stages the lowering would
+// instantiate (a light-weight mirror of GraphBuilder::Analyze).
+// ---------------------------------------------------------------------------
+
+struct BranchEst {
+  std::vector<int> nodes;                ///< span nodes, consumer→producer
+  std::vector<sim::DeviceId> instances;  ///< stamped placement (or synthesized)
+  sim::DeviceType device = sim::DeviceType::kCpu;
+  bool gpu_entry = false;  ///< kCpu2Gpu on the consumer-side decoration
+  bool uva = false;        ///< the crossing addresses producer memory over UVA
+  int feed = -1;
+};
+
+struct StageEst {
+  std::vector<BranchEst> branches;
+  int router = -1;
+  int segmenter = -1;
+  double crossing_latency = 0;  ///< producer-side gpu2cpu task-spawn latency
+  std::vector<int> producer_tops;
+};
+
+struct PlanShape {
+  std::vector<StageEst> fact_stages;  ///< consumer-first (gather, probe, ...)
+  std::vector<StageEst> build_stages;
+};
+
+Status WalkPlan(const HetPlan& plan, PlanShape* shape) {
+  if (plan.root < 0 || plan.root >= static_cast<int>(plan.nodes.size())) {
+    return Status::InvalidArgument("coster: plan has no root node");
+  }
+
+  std::vector<int> build_tops;
+  std::set<int> seen_build_tops;
+
+  auto collect_span = [&](int top, BranchEst* branch) -> Status {
+    int cur = top;
+    while (true) {
+      const HetOpNode& n = plan.node(cur);
+      if (!IsSpanKind(n.kind)) {
+        return Status::Internal(std::string("coster: span contains operator ") +
+                                HetOpNode::KindName(n.kind));
+      }
+      branch->nodes.push_back(cur);
+      if (branch->nodes.size() > plan.nodes.size()) {
+        return Status::Internal("coster: span does not terminate (plan cycle)");
+      }
+      if (branch->instances.empty() && !n.placement.empty()) {
+        branch->instances = n.placement;
+        branch->device = n.device;
+      }
+      if (n.kind == Kind::kJoinProbe) {
+        for (size_t c = 1; c < n.children.size(); ++c) {
+          if (seen_build_tops.insert(n.children[c]).second) {
+            build_tops.push_back(n.children[c]);
+          }
+        }
+      }
+      if (n.children.empty()) {
+        return Status::Internal("coster: span reaches a leaf without a source");
+      }
+      const int child = n.children[0];
+      const Kind ck = plan.node(child).kind;
+      if (IsTransportKind(ck) || IsProducerTop(ck)) {
+        branch->feed = child;
+        if (branch->instances.empty()) {
+          // No placement stamp (hand-written plan): synthesize dop instances.
+          const HetOpNode& rep = plan.node(branch->nodes.front());
+          branch->device = rep.device;
+          for (int i = 0; i < std::max(1, rep.dop); ++i) {
+            branch->instances.push_back(sim::DeviceId{rep.device, 0});
+          }
+        }
+        return Status::OK();
+      }
+      cur = child;
+    }
+  };
+
+  // Walks a decoration chain to its exchange terminal, harvesting crossing
+  // flags. `branch` non-null on the consumer side, `stage` on the producer.
+  auto walk_decoration = [&](int from, BranchEst* branch,
+                             StageEst* stage) -> int {
+    int cur = from;
+    size_t steps = 0;
+    while (IsDecorationKind(plan.node(cur).kind)) {
+      const HetOpNode& n = plan.node(cur);
+      if (n.kind == Kind::kCpu2Gpu && branch != nullptr) {
+        branch->gpu_entry = true;
+        if (IsUvaCrossing(n)) branch->uva = true;
+      }
+      if (n.kind == Kind::kGpu2Cpu && stage != nullptr) {
+        stage->crossing_latency =
+            std::max(stage->crossing_latency, n.crossing_latency);
+      }
+      if (n.children.empty() || ++steps > plan.nodes.size()) return -1;
+      cur = n.children[0];
+    }
+    return cur;
+  };
+
+  auto parse_feed = [&](StageEst* stage) -> Status {
+    for (BranchEst& branch : stage->branches) {
+      const int cur = walk_decoration(branch.feed, &branch, nullptr);
+      if (cur < 0) return Status::Internal("coster: dangling exchange decoration");
+      const HetOpNode& n = plan.node(cur);
+      if (n.kind == Kind::kRouter) {
+        if (stage->router != -1 && stage->router != cur) {
+          return Status::Internal("coster: branches fed by different routers");
+        }
+        stage->router = cur;
+      } else if (n.kind == Kind::kSegmenter) {
+        stage->segmenter = cur;
+      } else if (IsProducerTop(n.kind)) {
+        stage->producer_tops.push_back(cur);
+      } else {
+        return Status::Internal(
+            std::string("coster: span fed by non-exchange operator ") +
+            HetOpNode::KindName(n.kind));
+      }
+    }
+    if (stage->router != -1) {
+      for (int child : plan.node(stage->router).children) {
+        const int cur = walk_decoration(child, nullptr, stage);
+        if (cur < 0) return Status::Internal("coster: dangling exchange decoration");
+        const HetOpNode& n = plan.node(cur);
+        if (n.kind == Kind::kSegmenter) {
+          stage->segmenter = cur;
+        } else if (IsSpanKind(n.kind)) {
+          stage->producer_tops.push_back(cur);
+        } else {
+          return Status::Internal(
+              std::string("coster: router fed by non-pipeline operator ") +
+              HetOpNode::KindName(n.kind));
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  const HetOpNode& root = plan.node(plan.root);
+  if (root.kind != Kind::kResult || root.children.size() != 1) {
+    return Status::InvalidArgument("coster: plan root must be a result node");
+  }
+
+  std::vector<int> tops = {root.children[0]};
+  while (true) {
+    if (shape->fact_stages.size() > plan.nodes.size()) {
+      return Status::Internal("coster: fact chain does not terminate");
+    }
+    StageEst stage;
+    for (int top : tops) {
+      BranchEst branch;
+      Status st = collect_span(top, &branch);
+      if (!st.ok()) return st;
+      stage.branches.push_back(std::move(branch));
+    }
+    Status st = parse_feed(&stage);
+    if (!st.ok()) return st;
+    const bool at_source = stage.segmenter != -1;
+    std::vector<int> next = stage.producer_tops;
+    shape->fact_stages.push_back(std::move(stage));
+    if (at_source) break;
+    if (next.empty()) return Status::Internal("coster: exchange with no producers");
+    tops = std::move(next);
+  }
+
+  // Build networks, grouped by their feeding exchange terminal.
+  std::vector<int> group_keys;
+  std::map<int, StageEst> by_key;
+  for (int top : build_tops) {
+    BranchEst branch;
+    Status st = collect_span(top, &branch);
+    if (!st.ok()) return st;
+    // Grouping key only; parse_feed re-walks the decoration for the flags.
+    const int key = walk_decoration(branch.feed, nullptr, nullptr);
+    if (key < 0) return Status::Internal("coster: build span with a dangling feed");
+    if (by_key.find(key) == by_key.end()) group_keys.push_back(key);
+    by_key[key].branches.push_back(std::move(branch));
+  }
+  for (int key : group_keys) {
+    StageEst& stage = by_key[key];
+    Status st = parse_feed(&stage);
+    if (!st.ok()) return st;
+    if (stage.segmenter == -1) {
+      return Status::Internal("coster: build stage without a source segmenter");
+    }
+    shape->build_stages.push_back(std::move(stage));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Per-tuple work profiles, converted to CostStats for CostModel::WorkCost.
+// ---------------------------------------------------------------------------
+
+struct Profile {
+  double ops = 0;
+  double near = 0, mid = 0, far = 0;
+  double atomics = 0;
+  double bytes_read = 0, bytes_written = 0;
+
+  void AddAccess(const sim::CostModel& cm, uint64_t region_bytes, double p) {
+    switch (cm.RandomAccessClass(region_bytes)) {
+      case 0: near += p; break;
+      case 1: mid += p; break;
+      default: far += p; break;
+    }
+  }
+
+  sim::CostStats Scale(double rows) const {
+    sim::CostStats s;
+    s.tuples = static_cast<uint64_t>(std::llround(rows));
+    s.ops = static_cast<uint64_t>(std::llround(ops * rows));
+    s.near_accesses = static_cast<uint64_t>(std::llround(near * rows));
+    s.mid_accesses = static_cast<uint64_t>(std::llround(mid * rows));
+    s.far_accesses = static_cast<uint64_t>(std::llround(far * rows));
+    s.atomics = static_cast<uint64_t>(std::llround(atomics * rows));
+    s.bytes_read = static_cast<uint64_t>(std::llround(bytes_read * rows));
+    s.bytes_written = static_cast<uint64_t>(std::llround(bytes_written * rows));
+    return s;
+  }
+};
+
+enum class StageRole { kBuild, kFilterStage, kProbe, kGather };
+
+StageRole ClassifyStage(const HetPlan& plan, const StageEst& stage) {
+  bool has_probe = false, has_hashpack = false;
+  for (int id : stage.branches.front().nodes) {
+    switch (plan.node(id).kind) {
+      case Kind::kJoinBuild: return StageRole::kBuild;
+      case Kind::kGather: return StageRole::kGather;
+      case Kind::kJoinProbe: has_probe = true; break;
+      case Kind::kHashPack: has_hashpack = true; break;
+      default: break;
+    }
+  }
+  if (has_hashpack && !has_probe) return StageRole::kFilterStage;
+  return StageRole::kProbe;
+}
+
+/// One instance's pricing inputs for a stage.
+struct InstanceCost {
+  sim::VTime block_time = 0;     ///< per-block completion (compute/transfer max)
+  sim::VTime transfer_time = 0;  ///< per-block interconnect share (diagnostic)
+  uint64_t blocks = 0;           ///< assigned by the distribution model
+};
+
+/// Distributes `total_blocks` over `insts` under the router policy and returns
+/// the stage completion time (max per-instance finish).
+sim::VTime DistributeBlocks(RouterPolicy policy, uint64_t total_blocks,
+                            std::vector<InstanceCost>* insts) {
+  const size_t n = insts->size();
+  if (n == 0 || total_blocks == 0) return 0;
+  switch (policy) {
+    case RouterPolicy::kBroadcast:
+      for (auto& i : *insts) i.blocks = total_blocks;
+      break;
+    case RouterPolicy::kLoadBalance: {
+      // Greedy least-finish-time, the analytic analogue of the runtime's
+      // virtual-time backlog balancing. Chunk very large block counts so the
+      // loop stays bounded.
+      const uint64_t chunk = std::max<uint64_t>(1, total_blocks / 8192);
+      std::vector<sim::VTime> finish(n, 0);
+      for (uint64_t b = 0; b < total_blocks; b += chunk) {
+        const uint64_t k = std::min(chunk, total_blocks - b);
+        size_t best = 0;
+        for (size_t i = 1; i < n; ++i) {
+          if (finish[i] + (*insts)[i].block_time <
+              finish[best] + (*insts)[best].block_time) {
+            best = i;
+          }
+        }
+        finish[best] += static_cast<double>(k) * (*insts)[best].block_time;
+        (*insts)[best].blocks += k;
+      }
+      break;
+    }
+    case RouterPolicy::kRoundRobin:
+    case RouterPolicy::kHash:
+    case RouterPolicy::kUnion:
+      // Rotation: instance i receives every n-th block.
+      for (size_t i = 0; i < n; ++i) {
+        (*insts)[i].blocks =
+            total_blocks / n + (i < total_blocks % n ? 1 : 0);
+      }
+      break;
+  }
+  sim::VTime done = 0;
+  for (const auto& i : *insts) {
+    done = sim::MaxT(done, static_cast<double>(i.blocks) * i.block_time);
+  }
+  return done;
+}
+
+}  // namespace
+
+std::string CardinalityEstimate::ToString() const {
+  std::ostringstream os;
+  os << "fact=" << fact_rows << " sel=" << fact_selectivity;
+  for (size_t j = 0; j < build_rows.size(); ++j) {
+    os << " join" << j << "=" << build_rows[j] << "/" << build_input_rows[j];
+  }
+  os << " out=" << output_rows;
+  return os.str();
+}
+
+std::string CostEstimate::ToString() const {
+  std::ostringstream os;
+  os << "total=" << total << " (init=" << init << " build=" << build
+     << " probe=" << probe << " xfer=" << transfer << " gather=" << gather
+     << ")";
+  return os.str();
+}
+
+CardinalityEstimate EstimateCardinalities(const QuerySpec& spec,
+                                          const storage::Catalog& catalog) {
+  CardinalityEstimate c;
+  const storage::Table* fact = catalog.Get(spec.fact_table);
+  c.fact_rows = fact != nullptr ? std::max<uint64_t>(1, TableRows(*fact)) : 1;
+  c.fact_selectivity =
+      fact != nullptr ? SampleSelectivity(*fact, spec.fact_filter, 1.0) : 1.0;
+
+  double cumulative = c.fact_selectivity;
+  for (const JoinSpec& join : spec.joins) {
+    const storage::Table* build = catalog.Get(join.build_table);
+    uint64_t input = build != nullptr && TableRows(*build) > 0
+                         ? TableRows(*build)
+                         : std::max<uint64_t>(1, join.build_rows_estimate);
+    double fallback = join.build_rows_estimate > 0
+                          ? std::min(1.0, static_cast<double>(
+                                              join.build_rows_estimate) /
+                                              static_cast<double>(input))
+                          : 1.0;
+    const double sel = build != nullptr
+                           ? SampleSelectivity(*build, join.build_filter, fallback)
+                           : fallback;
+    const uint64_t filtered = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(sel * static_cast<double>(input))));
+    c.build_input_rows.push_back(input);
+    c.build_rows.push_back(filtered);
+    // FK uniformity of the star schema: a fact row's key hits each distinct
+    // build key with equal probability, so the expected output multiplier is
+    // filtered rows / distinct keys. For unique-key dimensions this is the
+    // survival fraction; duplicate-key builds correctly predict fan-out > 1
+    // (distinct comes from the column stats; row count is the fallback).
+    uint64_t key_domain = input;
+    if (build != nullptr) {
+      const int key_idx = build->FindColumn(join.build_key);
+      if (key_idx >= 0) {
+        const storage::ColumnStats key_stats = build->column_stats(key_idx);
+        if (key_stats.sampled > 0 && key_stats.distinct > 0) {
+          key_domain = key_stats.distinct;
+        }
+      }
+    }
+    constexpr double kMaxFanout = 1024.0;  // runaway-estimate guard
+    const double s = std::min(
+        kMaxFanout, static_cast<double>(filtered) / static_cast<double>(key_domain));
+    c.join_selectivities.push_back(s);
+    cumulative *= s;
+  }
+  c.output_rows = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(cumulative * static_cast<double>(c.fact_rows))));
+  return c;
+}
+
+PlanCoster::PlanCoster(const QuerySpec& spec, const storage::Catalog& catalog,
+                       const sim::Topology& topo, Options options)
+    : spec_(&spec),
+      catalog_(&catalog),
+      topo_(&topo),
+      options_(options),
+      cards_(EstimateCardinalities(spec, catalog)) {}
+
+Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
+  const sim::CostModel& cm = topo_->cost_model();
+  PlanShape shape;
+  Status st = WalkPlan(plan, &shape);
+  if (!st.ok()) return st;
+
+  CostEstimate est;
+  for (const auto& n : plan.nodes) {
+    if (n.kind == Kind::kRouter) {
+      est.init = sim::MaxT(est.init, n.init_latency);
+    }
+  }
+
+  // --- Schema-derived widths. Fact columns a fused scan reads; the packed
+  // wire columns a split plan ships between stages (8-byte registers).
+  const storage::Table* fact = catalog_->Get(spec_->fact_table);
+  std::set<std::string> payloads;
+  for (const auto& join : spec_->joins) {
+    for (const auto& p : join.payload) payloads.insert(p);
+  }
+  auto fact_col_set = [&](bool include_filter) {
+    std::set<std::string> cols;
+    if (include_filter && spec_->fact_filter != nullptr) {
+      spec_->fact_filter->CollectColumns(&cols);
+    }
+    for (const auto& join : spec_->joins) cols.insert(join.probe_key);
+    for (const auto& agg : spec_->aggs) {
+      if (agg.value != nullptr) agg.value->CollectColumns(&cols);
+    }
+    for (const auto& g : spec_->group_by) g->CollectColumns(&cols);
+    std::set<std::string> out;
+    for (const auto& c : cols) {
+      if (payloads.count(c) > 0) continue;
+      if (fact == nullptr || fact->FindColumn(c) >= 0) out.insert(c);
+    }
+    return out;
+  };
+  const std::set<std::string> scan_cols = fact_col_set(/*include_filter=*/true);
+  const std::set<std::string> wire_cols = fact_col_set(/*include_filter=*/false);
+  double scan_width = 0;
+  for (const auto& c : scan_cols) {
+    scan_width += fact != nullptr && fact->FindColumn(c) >= 0
+                      ? fact->column(c).width()
+                      : 8;
+  }
+  const double wire_width = 8.0 * static_cast<double>(wire_cols.size());
+
+  // --- Hash-table footprints (mirrors QueryCompiler::JoinHtBytes so access
+  // size classes agree with the generated code).
+  auto ht_bytes = [&](size_t j) -> uint64_t {
+    if (j >= spec_->joins.size()) return 1;
+    const JoinSpec& join = spec_->joins[j];
+    uint64_t cap = join.build_rows_estimate > 0
+                       ? join.build_rows_estimate * 13 / 10 + 64
+                       : (j < cards_.build_input_rows.size()
+                              ? cards_.build_input_rows[j]
+                              : 1);
+    const uint64_t stride = (2 + join.payload.size()) * sizeof(int64_t);
+    return cap * stride + cap * 2 * sizeof(int64_t);
+  };
+  const uint64_t n_aggs = spec_->aggs.size();
+  const uint64_t agg_ht_bytes =
+      spec_->group_by.empty() ? 0 : spec_->expected_groups * 2 * (8 + 8 * n_aggs);
+
+  const double filter_ops = ExprOps(spec_->fact_filter);
+  double agg_value_ops = 0;
+  for (const auto& agg : spec_->aggs) agg_value_ops += ExprOps(agg.value) + 1;
+  double group_key_ops = 0;
+  for (const auto& g : spec_->group_by) group_key_ops += ExprOps(g) + 2;
+
+  const double total_join_sel = [&] {
+    double s = 1.0;
+    for (double js : cards_.join_selectivities) s *= js;
+    return s;
+  }();
+
+  // Per-tuple profile of a probe span. `from_table`: fused scan (filter still
+  // to run) vs the packed stage-B input of a split plan (filter already done).
+  auto probe_profile = [&](bool from_table) {
+    Profile p;
+    p.bytes_read = from_table ? scan_width : wire_width;
+    double reach = 1.0;
+    if (from_table && spec_->fact_filter != nullptr) {
+      p.ops += filter_ops + 1;
+      reach = cards_.fact_selectivity;
+    }
+    for (size_t j = 0; j < spec_->joins.size(); ++j) {
+      p.ops += reach * 4;  // probe init + loop control
+      p.AddAccess(cm, ht_bytes(j), reach);
+      const double s =
+          j < cards_.join_selectivities.size() ? cards_.join_selectivities[j] : 1;
+      reach *= s;
+      if (!spec_->joins[j].payload.empty()) {
+        p.ops += reach * (1 + static_cast<double>(spec_->joins[j].payload.size()));
+        p.AddAccess(cm, ht_bytes(j), reach);
+      }
+    }
+    if (spec_->group_by.empty()) {
+      p.ops += reach * agg_value_ops;
+    } else {
+      p.ops += reach * (group_key_ops + agg_value_ops + 1);
+      p.AddAccess(cm, agg_ht_bytes, reach);
+    }
+    return p;
+  };
+
+  auto filter_stage_profile = [&] {
+    Profile p;
+    p.bytes_read = scan_width;
+    p.ops += filter_ops + 1;
+    const double survivors = cards_.fact_selectivity;
+    p.ops += survivors * (2 + static_cast<double>(wire_cols.size()));
+    p.bytes_written = survivors * wire_width;
+    return p;
+  };
+
+  auto build_profile = [&](size_t j, uint64_t* n_cols) {
+    Profile p;
+    const JoinSpec* join = j < spec_->joins.size() ? &spec_->joins[j] : nullptr;
+    double in_width = 8;
+    *n_cols = 1;
+    double sel = 1.0;
+    if (join != nullptr) {
+      const storage::Table* t = catalog_->Get(join->build_table);
+      std::set<std::string> cols;
+      if (join->build_filter != nullptr) join->build_filter->CollectColumns(&cols);
+      cols.insert(join->build_key);
+      for (const auto& c : join->payload) cols.insert(c);
+      in_width = 0;
+      for (const auto& c : cols) {
+        in_width += t != nullptr && t->FindColumn(c) >= 0 ? t->column(c).width() : 8;
+      }
+      *n_cols = cols.size();
+      p.ops += ExprOps(join->build_filter) + 1;
+      sel = j < cards_.join_selectivities.size() ? cards_.join_selectivities[j] : 1;
+    }
+    p.bytes_read = in_width;
+    p.ops += sel * 3;
+    p.AddAccess(cm, ht_bytes(j), sel);
+    p.atomics += sel;
+    return p;
+  };
+
+  // --- Instance pricing under the fluid bandwidth-share model.
+  auto stage_instances = [&](const StageEst& stage, const Profile& profile,
+                             uint64_t block_rows, double in_width,
+                             uint64_t cols) {
+    std::vector<InstanceCost> out;
+    // CPU workers share their socket's DRAM bandwidth.
+    std::map<int, int> socket_workers;
+    for (const auto& b : stage.branches) {
+      for (const auto& dev : b.instances) {
+        if (dev.is_cpu()) socket_workers[dev.index] += 1;
+      }
+    }
+    cols = std::max<uint64_t>(1, cols);
+    const sim::CostStats block_stats =
+        profile.Scale(static_cast<double>(block_rows));
+    for (const auto& b : stage.branches) {
+      for (const auto& dev : b.instances) {
+        InstanceCost ic;
+        if (dev.is_cpu()) {
+          const double bw = std::min(
+              cm.cpu_core_bw, cm.cpu_socket_bw / socket_workers[dev.index]);
+          ic.block_time = cm.WorkCost(block_stats, cm.cpu, bw);
+        } else {
+          const double bw = b.uva ? cm.pcie_bw : cm.gpu_mem_bw;
+          const sim::VTime compute = cm.kernel_launch_latency +
+                                     cm.WorkCost(block_stats, cm.gpu, bw);
+          sim::VTime transfer = 0;
+          if (b.gpu_entry && !b.uva) {
+            // Mem-move stages the block over the GPU's PCIe link: one DMA
+            // reservation per column plus the bytes at the pinned rate.
+            transfer = static_cast<double>(cols) * cm.dma_latency +
+                       static_cast<double>(block_rows) * in_width / cm.pcie_bw;
+          }
+          ic.transfer_time = transfer;
+          ic.block_time = sim::MaxT(compute, transfer);
+        }
+        out.push_back(ic);
+      }
+    }
+    return out;
+  };
+
+  auto stage_policy = [&](const StageEst& stage) {
+    return stage.router >= 0 ? plan.node(stage.router).policy
+                             : RouterPolicy::kRoundRobin;
+  };
+  auto stage_control = [&](const StageEst& stage) {
+    return stage.router >= 0 ? plan.node(stage.router).control_cost : 0.0;
+  };
+
+  // ------------------------------------------------------------------ builds
+  for (const StageEst& stage : shape.build_stages) {
+    int join_id = -1;
+    for (int id : stage.branches.front().nodes) {
+      if (plan.node(id).kind == Kind::kJoinBuild) join_id = plan.node(id).join_id;
+    }
+    const size_t j = join_id >= 0 ? static_cast<size_t>(join_id) : 0;
+    const uint64_t rows =
+        j < cards_.build_input_rows.size() ? cards_.build_input_rows[j] : 1;
+    const HetOpNode& seg = plan.node(stage.segmenter);
+    const uint64_t block_rows =
+        seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
+    const uint64_t blocks = std::max<uint64_t>(1, CeilDiv(rows, block_rows));
+
+    uint64_t n_cols = 1;
+    const Profile profile = build_profile(j, &n_cols);
+    const double in_width = profile.bytes_read;
+    std::vector<InstanceCost> insts = stage_instances(
+        stage, profile, std::min(block_rows, std::max<uint64_t>(1, rows)),
+        in_width, n_cols);
+    // Broadcast: every unit consumes the full build stream.
+    sim::VTime done = DistributeBlocks(RouterPolicy::kBroadcast, blocks, &insts);
+    const sim::VTime source = static_cast<double>(blocks) *
+                              (seg.per_block_cost + stage_control(stage));
+    done = sim::MaxT(done, source);
+    est.build = sim::MaxT(est.build, done);
+    for (const auto& ic : insts) {
+      est.transfer = sim::MaxT(
+          est.transfer, static_cast<double>(ic.blocks) * ic.transfer_time);
+    }
+  }
+
+  // ------------------------------------------------------------- fact stages
+  // Producer→consumer: the source-fed stage is last in the walk order.
+  double rows_in = static_cast<double>(cards_.fact_rows);
+  bool from_table = true;
+  std::vector<double> probe_out_rows;  // per probe instance: surviving rows
+  std::vector<sim::VTime> stage_done;  // per stage: throughput-bound completion
+  std::vector<sim::VTime> stage_drain; // per stage: one block's traversal (tail)
+  sim::VTime latency_constants = 0;
+
+  for (size_t i = shape.fact_stages.size(); i-- > 0;) {
+    const StageEst& stage = shape.fact_stages[i];
+    const StageRole role = ClassifyStage(plan, stage);
+    latency_constants += stage.crossing_latency;
+
+    if (role == StageRole::kGather) {
+      // Partial-aggregate merge: one row per group per probe instance (scalar
+      // aggregation: one row per instance).
+      const double cap = spec_->group_by.empty()
+                             ? 1.0
+                             : static_cast<double>(spec_->expected_groups);
+      double partials = 0;
+      for (double r : probe_out_rows) partials += std::min(cap, std::max(r, 1.0));
+      if (probe_out_rows.empty()) partials = 1;
+      Profile p;
+      p.bytes_read = 8.0 * (1 + static_cast<double>(n_aggs));
+      p.ops = static_cast<double>(n_aggs) + 2;
+      if (!spec_->group_by.empty()) p.AddAccess(cm, agg_ht_bytes, 1);
+      const sim::CostStats s = p.Scale(partials);
+      est.gather =
+          cm.WorkCost(s, cm.cpu, cm.cpu_core_bw) +
+          static_cast<double>(probe_out_rows.size()) * stage_control(stage);
+      continue;
+    }
+
+    if (role == StageRole::kBuild) {
+      return Status::Internal("coster: build span on the fact chain");
+    }
+
+    const uint64_t block_rows = stage.segmenter >= 0
+                                    ? (plan.node(stage.segmenter).block_rows > 0
+                                           ? plan.node(stage.segmenter).block_rows
+                                           : 128 * 1024)
+                                    : options_.pack_block_rows;
+    uint64_t blocks = CeilDiv(static_cast<uint64_t>(std::llround(rows_in)),
+                              block_rows);
+    if (stage.segmenter < 0) {
+      // Packed producers flush one partial block per instance at Finish.
+      uint64_t producer_insts = 0;
+      if (i + 1 < shape.fact_stages.size()) {
+        for (const auto& b : shape.fact_stages[i + 1].branches) {
+          producer_insts += b.instances.size();
+        }
+      }
+      blocks += producer_insts;
+    }
+    blocks = std::max<uint64_t>(1, blocks);
+
+    const Profile profile = role == StageRole::kFilterStage
+                                ? filter_stage_profile()
+                                : probe_profile(from_table);
+    const double in_width = from_table ? scan_width : wire_width;
+    const uint64_t n_cols = from_table ? scan_cols.size() : wire_cols.size();
+    const uint64_t rows_per_block = std::max<uint64_t>(
+        1, std::min<uint64_t>(block_rows,
+                              static_cast<uint64_t>(std::llround(
+                                  std::max(1.0, rows_in / blocks)))));
+    std::vector<InstanceCost> insts =
+        stage_instances(stage, profile, rows_per_block, in_width, n_cols);
+    sim::VTime done = DistributeBlocks(stage_policy(stage), blocks, &insts);
+
+    const double per_block_src =
+        stage.segmenter >= 0 ? plan.node(stage.segmenter).per_block_cost : 0.0;
+    done = sim::MaxT(done, static_cast<double>(blocks) *
+                               (per_block_src + stage_control(stage)));
+    stage_done.push_back(done);
+    sim::VTime slowest_block = 0;
+    for (const auto& ic : insts) {
+      slowest_block = sim::MaxT(slowest_block, ic.block_time);
+      est.transfer = sim::MaxT(
+          est.transfer, static_cast<double>(ic.blocks) * ic.transfer_time);
+    }
+    stage_drain.push_back(slowest_block);
+
+    // Rows entering the consumer stage / partials entering gather.
+    if (role == StageRole::kFilterStage) {
+      rows_in *= cards_.fact_selectivity;
+      from_table = false;
+    } else {  // probe
+      const double survive =
+          (from_table ? cards_.fact_selectivity : 1.0) * total_join_sel;
+      probe_out_rows.clear();
+      for (const auto& ic : insts) {
+        probe_out_rows.push_back(static_cast<double>(ic.blocks) *
+                                 static_cast<double>(rows_per_block) * survive);
+      }
+    }
+  }
+
+  // Pipelined stages: the phase is bottleneck-bound, plus a drain term — the
+  // last block still traverses every non-bottleneck stage after the bottleneck
+  // finishes. This is what separates a split plan (extra exchange + stage) from
+  // its fused sibling when both are bottlenecked on the same source stage.
+  sim::VTime fact_phase = 0;
+  size_t bottleneck = 0;
+  for (size_t s = 0; s < stage_done.size(); ++s) {
+    if (stage_done[s] > fact_phase) {
+      fact_phase = stage_done[s];
+      bottleneck = s;
+    }
+  }
+  for (size_t s = 0; s < stage_drain.size(); ++s) {
+    if (s != bottleneck) fact_phase += stage_drain[s];
+  }
+
+  est.probe = fact_phase + latency_constants;
+  est.total = est.init + est.build + est.probe + est.gather;
+  return est;
+}
+
+}  // namespace hetex::plan

@@ -1,0 +1,91 @@
+#ifndef HETEX_PLAN_COSTER_H_
+#define HETEX_PLAN_COSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/het_plan.h"
+#include "plan/query_spec.h"
+#include "sim/topology.h"
+#include "storage/table.h"
+
+namespace hetex::plan {
+
+/// \brief Cardinality and selectivity estimates for one query, derived from
+/// table/column statistics.
+///
+/// Selectivities come from evaluating the query's predicates over a bounded
+/// staging-row sample (`Table::SampleRows`); join survival fractions follow
+/// from the FK-uniformity of a star schema (filtered build rows / build rows).
+/// When staging was dropped, the catalog estimates already carried by the
+/// QuerySpec (`build_rows_estimate`) are the fallback.
+struct CardinalityEstimate {
+  uint64_t fact_rows = 0;
+  double fact_selectivity = 1.0;            ///< fact-filter survival fraction
+  std::vector<uint64_t> build_input_rows;   ///< per join: build-table rows
+  std::vector<uint64_t> build_rows;         ///< per join: filtered build side
+  std::vector<double> join_selectivities;   ///< per join: probe survival fraction
+  uint64_t output_rows = 0;                 ///< fact rows reaching aggregation
+
+  std::string ToString() const;
+};
+
+CardinalityEstimate EstimateCardinalities(const QuerySpec& spec,
+                                          const storage::Catalog& catalog);
+
+/// \brief Estimated virtual-time cost of one candidate plan, with the phase
+/// breakdown the optimizer records per candidate.
+struct CostEstimate {
+  sim::VTime total = 0;     ///< end-to-end virtual-time estimate
+  sim::VTime init = 0;      ///< router bring-up watermark
+  sim::VTime build = 0;     ///< hash-build phase (concurrent build networks)
+  sim::VTime probe = 0;     ///< fact-pipeline phase (pipelined stages)
+  sim::VTime transfer = 0;  ///< interconnect share of the critical path (diagnostic)
+  sim::VTime gather = 0;    ///< final merge of partial aggregates
+
+  std::string ToString() const;
+};
+
+/// \brief Prices candidate HetPlans by walking the DAG with the same
+/// sim::CostModel / DeviceCaps constants the runtime simulation charges.
+///
+/// The coster mirrors the lowering's stage structure (pipeline spans between
+/// exchanges) and the runtime's accounting: per-block work converted via
+/// CostModel::WorkCost under the fluid bandwidth-share model, per-block fixed
+/// costs (kernel launches, DMA setup, router control), serialized PCIe
+/// transfers, and policy-dependent block distribution (round-robin assigns
+/// blocks by rotation; load-balance greedily to the least-loaded instance —
+/// the virtual-time analogue of the runtime's backlog balancing). It is an
+/// estimate, not a simulation: cardinalities come from CardinalityEstimate,
+/// not from execution.
+struct CosterOptions {
+  /// Rows per packed intermediate block (the runtime's block_bytes / 8);
+  /// sizes the block counts of non-segmenter-fed stages.
+  uint64_t pack_block_rows = (1ull << 20) / 8;
+};
+
+class PlanCoster {
+ public:
+  using Options = CosterOptions;
+
+  PlanCoster(const QuerySpec& spec, const storage::Catalog& catalog,
+             const sim::Topology& topo, Options options = {});
+
+  /// Estimates the virtual-time cost of `plan`. Fails (instead of guessing) on
+  /// DAG shapes whose stage structure the walk cannot decompose.
+  Result<CostEstimate> Cost(const HetPlan& plan) const;
+
+  const CardinalityEstimate& cards() const { return cards_; }
+
+ private:
+  const QuerySpec* spec_;
+  const storage::Catalog* catalog_;
+  const sim::Topology* topo_;
+  Options options_;
+  CardinalityEstimate cards_;
+};
+
+}  // namespace hetex::plan
+
+#endif  // HETEX_PLAN_COSTER_H_

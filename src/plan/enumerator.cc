@@ -1,0 +1,115 @@
+#include "plan/enumerator.h"
+
+#include <set>
+#include <sstream>
+
+namespace hetex::plan {
+
+namespace {
+
+const char* ModeTag(ExecPolicy::Mode mode) {
+  switch (mode) {
+    case ExecPolicy::Mode::kCpuOnly: return "cpu";
+    case ExecPolicy::Mode::kGpuOnly: return "gpu";
+    case ExecPolicy::Mode::kHybrid: return "het";
+  }
+  return "?";
+}
+
+std::string Label(const ExecPolicy& p) {
+  std::ostringstream os;
+  os << ModeTag(p.mode) << "/" << (p.split_probe_stage ? "split" : "fused")
+     << "/" << (p.load_balance ? "lb" : "rr") << "/b" << p.block_rows;
+  if (p.mode != ExecPolicy::Mode::kGpuOnly && p.cpu_workers > 0) {
+    os << "/w" << p.cpu_workers;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
+                                          const ExecPolicy& base,
+                                          const sim::Topology& topo) {
+  std::vector<PlanCandidate> out;
+  std::set<std::string> seen;
+
+  auto add = [&](ExecPolicy policy) {
+    PlanCandidate cand;
+    cand.label = Label(policy);
+    if (!seen.insert(cand.label).second) return;  // deduplicated variant
+    cand.policy = policy;
+    cand.plan = BuildHetPlan(spec, policy, topo);
+    // Every candidate must be a plan the lowering accepts; the heuristic
+    // builder guarantees this, but keep the contract enforced.
+    if (!ValidateHetPlan(cand.plan).ok()) return;
+    out.push_back(std::move(cand));
+  };
+
+  if (!base.use_hetexchange) {
+    // Bare single-unit plan: no exchanges, nothing to search.
+    add(base);
+    return out;
+  }
+
+  // Placement mixes within the base policy's constraints.
+  std::vector<ExecPolicy::Mode> mixes;
+  const bool gpus_available = topo.num_gpus() > 0;
+  switch (base.mode) {
+    case ExecPolicy::Mode::kCpuOnly:
+      mixes = {ExecPolicy::Mode::kCpuOnly};
+      break;
+    case ExecPolicy::Mode::kGpuOnly:
+      mixes = {ExecPolicy::Mode::kGpuOnly};
+      break;
+    case ExecPolicy::Mode::kHybrid:
+      mixes = {ExecPolicy::Mode::kCpuOnly};
+      if (gpus_available) {
+        mixes.push_back(ExecPolicy::Mode::kGpuOnly);
+        mixes.push_back(ExecPolicy::Mode::kHybrid);
+      }
+      break;
+  }
+
+  const int base_workers =
+      base.cpu_workers < 0 ? topo.num_cores() : base.cpu_workers;
+
+  for (ExecPolicy::Mode mix : mixes) {
+    ExecPolicy p = base;
+    p.mode = mix;
+    if (mix != ExecPolicy::Mode::kGpuOnly) p.cpu_workers = base_workers;
+
+    // Shape × router policy.
+    for (bool split : {false, true}) {
+      for (bool lb : {true, false}) {
+        ExecPolicy v = p;
+        v.split_probe_stage = split;
+        v.load_balance = lb;
+        add(v);
+      }
+    }
+
+    // Segmentation granularity: a 4× coarser fused variant (fewer, larger
+    // blocks trade control-plane cost against distribution slack).
+    {
+      ExecPolicy v = p;
+      v.split_probe_stage = false;
+      v.load_balance = true;
+      v.block_rows = base.block_rows * 4;
+      add(v);
+    }
+
+    // CPU degree of parallelism: half the workers (contended sockets can
+    // prefer fewer streams; the Fig. 6/7 saturation regime).
+    if (mix != ExecPolicy::Mode::kGpuOnly && base_workers > 1) {
+      ExecPolicy v = p;
+      v.split_probe_stage = false;
+      v.load_balance = true;
+      v.cpu_workers = base_workers / 2;
+      add(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace hetex::plan

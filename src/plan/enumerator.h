@@ -1,0 +1,43 @@
+#ifndef HETEX_PLAN_ENUMERATOR_H_
+#define HETEX_PLAN_ENUMERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/het_plan.h"
+#include "plan/query_spec.h"
+#include "sim/topology.h"
+
+namespace hetex::plan {
+
+/// One candidate plan: the policy seed that produced it plus the validated
+/// HetPlan the lowering can run as-is.
+struct PlanCandidate {
+  std::string label;   ///< e.g. "het/split/lb/b4096"
+  ExecPolicy policy;   ///< the BuildHetPlan seed
+  HetPlan plan;
+};
+
+/// \brief Enumerates the candidate space the lowering already supports.
+///
+/// BuildHetPlan is the single enumeration seed: every candidate is a policy
+/// variation run through it, so the search space is — by construction —
+/// exactly the set of plans GraphBuilder accepts. Dimensions searched, within
+/// the degrees of freedom `base` leaves open:
+///   - probe-pipeline shape: fused vs split (filter stage + hash exchange),
+///   - per-branch placement: CPU-only / GPU-only / hybrid (restricted by
+///     `base.mode` and the topology's device inventory),
+///   - per-exchange router policy: load-balance vs round-robin,
+///   - CPU degree of parallelism: full vs half workers,
+///   - segmentation granularity: base block_rows and a 4× coarser variant.
+///
+/// A base policy with `use_hetexchange == false` pins the bare single-unit
+/// plan (no search: the shape has no exchanges to vary). Every returned
+/// candidate passed ValidateHetPlan.
+std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
+                                          const ExecPolicy& base,
+                                          const sim::Topology& topo);
+
+}  // namespace hetex::plan
+
+#endif  // HETEX_PLAN_ENUMERATOR_H_

@@ -53,6 +53,10 @@ class Expr {
   std::string ToString() const;
 
   Kind kind() const { return kind_; }
+  /// Children of a kBin node (null otherwise). Exposed for planner walks
+  /// (e.g. the coster's per-tuple micro-op estimates).
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
 
  private:
   Expr() = default;

@@ -405,6 +405,13 @@ bool IsBlockProducer(HetOpNode::Kind k) {
 
 Status ValidateHetPlan(const HetPlan& plan) {
   using Kind = HetOpNode::Kind;
+  // Every rejection names the offending node ("node N (kind)") so a failing
+  // hand-mutated plan surfaced through QueryResult::status pinpoints which
+  // node broke which rule instead of describing the rule alone.
+  const auto node_ref = [](size_t id, const HetOpNode& n) {
+    return "node " + std::to_string(id) + " (" +
+           std::string(HetOpNode::KindName(n.kind)) + ")";
+  };
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     const HetOpNode& n = plan.nodes[i];
 
@@ -416,15 +423,16 @@ Status ValidateHetPlan(const HetPlan& plan) {
       }
       if (child.device != n.device &&
           n.kind != Kind::kCpu2Gpu && n.kind != Kind::kGpu2Cpu) {
-        return Status::Internal("device transition without crossing operator at " +
-                                std::string(HetOpNode::KindName(n.kind)));
+        return Status::Internal("rule 2: device transition without a crossing "
+                                "operator at " + node_ref(i, n));
       }
     }
     if (n.kind == Kind::kCpu2Gpu || n.kind == Kind::kGpu2Cpu) {
       // Hand-mutated plans can reach here with a childless crossing; rules
       // 2-4 below dereference the input, so reject instead of aborting.
       if (n.children.empty()) {
-        return Status::Internal("device crossing without an input");
+        return Status::Internal("device crossing " + node_ref(i, n) +
+                                " has no input");
       }
     }
 
@@ -432,18 +440,20 @@ Status ValidateHetPlan(const HetPlan& plan) {
     // that disagrees with it would make the printed plan lie about the
     // runtime graph's width.
     if (!n.placement.empty() && n.dop != static_cast<int>(n.placement.size())) {
-      return Status::Internal(std::string(HetOpNode::KindName(n.kind)) +
-                              " dop disagrees with its placement stamp");
+      return Status::Internal(node_ref(i, n) +
+                              ": dop disagrees with its placement stamp");
     }
     if (n.kind == Kind::kCpu2Gpu &&
         (n.device != sim::DeviceType::kGpu ||
          plan.node(n.children.at(0)).device != sim::DeviceType::kCpu)) {
-      return Status::Internal("cpu2gpu must move execution from CPU to GPU");
+      return Status::Internal("rule 2: " + node_ref(i, n) +
+                              " must move execution from CPU to GPU");
     }
     if (n.kind == Kind::kGpu2Cpu &&
         (n.device != sim::DeviceType::kCpu ||
          plan.node(n.children.at(0)).device != sim::DeviceType::kGpu)) {
-      return Status::Internal("gpu2cpu must move execution from GPU to CPU");
+      return Status::Internal("rule 2: " + node_ref(i, n) +
+                              " must move execution from GPU to CPU");
     }
 
     // Rule 1: relational operators consume unpacked, tuple-at-a-time input.
@@ -452,14 +462,16 @@ Status ValidateHetPlan(const HetPlan& plan) {
       size_t steps = 0;
       while (true) {
         if (++steps > plan.nodes.size()) {
-          return Status::Internal("plan contains a cycle");
+          return Status::Internal("plan contains a cycle below " + node_ref(i, n));
         }
         const HetOpNode& child = plan.node(c);
         if (child.kind == Kind::kUnpack || IsRelational(child.kind)) break;
         if (IsBlockProducer(child.kind)) {
           return Status::Internal(
-              std::string(HetOpNode::KindName(n.kind)) +
-              " consumes packed blocks without an unpack converter");
+              "rule 1: " + node_ref(i, n) +
+              " consumes packed blocks from " +
+              node_ref(static_cast<size_t>(c), child) +
+              " without an unpack converter");
         }
         if (child.children.empty()) break;
         c = child.children[0];
@@ -471,7 +483,10 @@ Status ValidateHetPlan(const HetPlan& plan) {
     if (n.kind == Kind::kCpu2Gpu && !IsUvaCrossing(n)) {
       const HetOpNode& below = plan.node(n.children.at(0));
       if (below.kind != Kind::kMemMove) {
-        return Status::Internal("cpu2gpu without a mem-move fixing locality below");
+        return Status::Internal(
+            "rule 3: " + node_ref(i, n) + " is not marked UVA and has no "
+            "mem-move fixing locality below (found " +
+            node_ref(static_cast<size_t>(n.children.at(0)), below) + ")");
       }
     }
 
@@ -482,13 +497,17 @@ Status ValidateHetPlan(const HetPlan& plan) {
                                     n.detail.find("hash") != std::string::npos)) {
       for (int c : n.children) {
         const HetOpNode* child = &plan.node(c);
+        int child_id = c;
         // A childless gpu2cpu was rejected above when *it* was visited, but it
         // may appear later in the node array than this router: guard the deref.
         if (child->kind == Kind::kGpu2Cpu && !child->children.empty()) {
-          child = &plan.node(child->children.at(0));
+          child_id = child->children.at(0);
+          child = &plan.node(child_id);
         }
         if (child->kind != Kind::kHashPack) {
-          return Status::Internal("hash router fed by non-hash-pack producer");
+          return Status::Internal(
+              "rule 4: hash router " + node_ref(i, n) + " fed by non-hash-pack "
+              "producer " + node_ref(static_cast<size_t>(child_id), *child));
         }
       }
     }

@@ -1,0 +1,54 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hetex::plan {
+
+std::string OptimizeResult::ToString() const {
+  std::ostringstream os;
+  os << "candidates (cheapest first), " << cards.ToString() << ":\n";
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    char est[64];
+    std::snprintf(est, sizeof(est), "%.6f", ranked[i].cost.total);
+    os << (i == 0 ? "  * " : "    ") << ranked[i].candidate.label << "  est="
+       << est << "s  [" << ranked[i].cost.ToString() << "]\n";
+  }
+  return os.str();
+}
+
+Status Optimize(const QuerySpec& spec, const ExecPolicy& base,
+                const storage::Catalog& catalog, const sim::Topology& topo,
+                OptimizeResult* out, PlanCoster::Options coster_options) {
+  *out = OptimizeResult{};
+  std::vector<PlanCandidate> candidates = EnumeratePlans(spec, base, topo);
+  if (candidates.empty()) {
+    return Status::Internal("optimizer: enumerator produced no candidates");
+  }
+
+  PlanCoster coster(spec, catalog, topo, coster_options);
+  out->cards = coster.cards();
+  Status last_error = Status::OK();
+  for (PlanCandidate& cand : candidates) {
+    Result<CostEstimate> cost = coster.Cost(cand.plan);
+    if (!cost.ok()) {
+      // A candidate the coster cannot decompose is dropped, not fatal — the
+      // enumerator guarantees at least the heuristic shapes walk cleanly.
+      last_error = cost.status();
+      continue;
+    }
+    out->ranked.push_back({std::move(cand), cost.value()});
+  }
+  if (out->ranked.empty()) {
+    return Status::Internal("optimizer: no candidate could be costed: " +
+                            last_error.ToString());
+  }
+  std::stable_sort(out->ranked.begin(), out->ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.cost.total < b.cost.total;
+                   });
+  return Status::OK();
+}
+
+}  // namespace hetex::plan

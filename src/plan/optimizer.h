@@ -1,0 +1,44 @@
+#ifndef HETEX_PLAN_OPTIMIZER_H_
+#define HETEX_PLAN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/coster.h"
+#include "plan/enumerator.h"
+
+namespace hetex::plan {
+
+/// One costed candidate of an optimization run.
+struct RankedCandidate {
+  PlanCandidate candidate;
+  CostEstimate cost;
+};
+
+/// \brief The optimizer's output: every enumerated candidate with its cost
+/// breakdown, ranked cheapest-first. `ranked.front()` is the picked plan.
+struct OptimizeResult {
+  std::vector<RankedCandidate> ranked;
+  CardinalityEstimate cards;
+
+  const PlanCandidate& best() const { return ranked.front().candidate; }
+
+  /// Human-readable ranked candidate table (one line per candidate with the
+  /// estimated virtual-time breakdown; the picked plan is marked).
+  std::string ToString() const;
+};
+
+/// \brief The enumerator → coster → picker pipeline.
+///
+/// Enumerates the candidate HetPlans `base` leaves open (EnumeratePlans),
+/// prices each with the virtual-time model (PlanCoster) and ranks them
+/// cheapest-first. Candidates the coster cannot decompose are dropped;
+/// failing every candidate is an error.
+Status Optimize(const QuerySpec& spec, const ExecPolicy& base,
+                const storage::Catalog& catalog, const sim::Topology& topo,
+                OptimizeResult* out, PlanCoster::Options coster_options = {});
+
+}  // namespace hetex::plan
+
+#endif  // HETEX_PLAN_OPTIMIZER_H_

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "plan/cost_params.h"
 #include "sim/vtime.h"
 
 namespace hetex::sim {
@@ -76,13 +77,16 @@ class CostModel {
   double gpu_mem_bw = 320e9;      ///< B/s GPU HBM/GDDR bandwidth
   double pcie_bw = 12e9;          ///< B/s pinned-memory DMA over one PCIe 3.0 x16
   double pcie_pageable_bw = 5.5e9;///< B/s when source is pageable host memory
-  double dma_latency = 1e-5;      ///< per-transfer fixed latency
-  double kernel_launch_latency = 8e-6;
-  double task_spawn_latency = 2e-6;   ///< spawning a host task (gpu2cpu crossing)
-  double router_init_latency = 1e-2;  ///< router instantiation + thread pinning
-                                      ///< (the paper measures ~10 ms, §6.4)
-  double router_control_cost = 100e-9;  ///< per-message routing decision
-  double segmenter_block_cost = 20e-9;  ///< per-block segmentation (control only)
+
+  // Control-plane constants, seeded from the one shared definition so the
+  // planner's stamps/estimates and the runtime simulation cannot drift apart
+  // (see plan::CostParams).
+  double dma_latency = plan::CostParams{}.dma_latency;
+  double kernel_launch_latency = plan::CostParams{}.kernel_launch_latency;
+  double task_spawn_latency = plan::CostParams{}.task_spawn_latency;
+  double router_init_latency = plan::CostParams{}.router_init_latency;
+  double router_control_cost = plan::CostParams{}.router_control_cost;
+  double segmenter_block_cost = plan::CostParams{}.segmenter_block_cost;
 
   /// Scales every fixed latency by `f`, leaving bandwidths and per-tuple costs
   /// untouched. Benchmarks that scale the paper's datasets down by a factor use

@@ -395,11 +395,15 @@ plan::QuerySpec Ssb::Query(int flight, int idx) const {
   return q;
 }
 
+int Ssb::FlightSize(int flight) {
+  static constexpr int kFlights[4] = {3, 3, 4, 3};
+  return flight >= 1 && flight <= 4 ? kFlights[flight - 1] : 0;
+}
+
 std::vector<plan::QuerySpec> Ssb::AllQueries() const {
   std::vector<plan::QuerySpec> queries;
-  const int flights[4] = {3, 3, 4, 3};
   for (int f = 1; f <= 4; ++f) {
-    for (int i = 1; i <= flights[f - 1]; ++i) queries.push_back(Query(f, i));
+    for (int i = 1; i <= FlightSize(f); ++i) queries.push_back(Query(f, i));
   }
   return queries;
 }

@@ -54,6 +54,10 @@ class Ssb {
   /// All 13 queries in paper order (Q1.1 .. Q4.3).
   std::vector<plan::QuerySpec> AllQueries() const;
 
+  /// Queries in `flight` (1..4) — the single source of the SSB matrix shape.
+  /// 0 for out-of-range flights.
+  static int FlightSize(int flight);
+
   /// Names of the fact/dimension columns a query touches (placement planning).
   static std::vector<std::string> FactColumns(const plan::QuerySpec& spec);
 

@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include <cstring>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -71,6 +72,62 @@ void Table::Unplace() {
   }
   chunks_.clear();
   placed_mem_ = nullptr;
+}
+
+namespace {
+
+/// Stats-sample bound: large enough that SSB dimension tables are covered
+/// exactly, small enough that a fact-table ANALYZE stays trivial.
+constexpr uint64_t kStatsSampleRows = 64 * 1024;
+
+}  // namespace
+
+ColumnStats Table::column_stats(int idx) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto it = stats_cache_.find(idx);
+  if (it != stats_cache_.end()) return it->second;
+
+  const Column& col = *columns_.at(idx);
+  ColumnStats stats;
+  const uint64_t total = col.rows();
+  if (total > 0) {
+    const uint64_t stride = total <= kStatsSampleRows
+                                ? 1
+                                : (total + kStatsSampleRows - 1) / kStatsSampleRows;
+    std::unordered_set<int64_t> seen;
+    for (uint64_t r = 0; r < total; r += stride) {
+      const int64_t v = col.At(r);
+      if (stats.sampled == 0 || v < stats.min) stats.min = v;
+      if (stats.sampled == 0 || v > stats.max) stats.max = v;
+      seen.insert(v);
+      ++stats.sampled;
+    }
+    const uint64_t observed = seen.size();
+    if (stride == 1 || observed * 2 < stats.sampled) {
+      // Full scan, or a domain much smaller than the sample: the observed
+      // count is (close to) the true distinct count.
+      stats.distinct = observed;
+    } else {
+      // Mostly-unique sample (e.g. a key column): scale linearly.
+      stats.distinct = observed * stride;
+    }
+  }
+  stats_cache_[idx] = stats;
+  return stats;
+}
+
+uint64_t Table::SampleRows(uint64_t max_rows,
+                           const std::function<void(uint64_t)>& fn) const {
+  const uint64_t total = rows();
+  if (total == 0 || max_rows == 0) return 0;
+  const uint64_t stride =
+      total <= max_rows ? 1 : (total + max_rows - 1) / max_rows;
+  uint64_t visited = 0;
+  for (uint64_t r = 0; r < total; r += stride) {
+    fn(r);
+    ++visited;
+  }
+  return visited;
 }
 
 uint64_t Table::ColumnSetBytes(const std::vector<std::string>& cols) const {

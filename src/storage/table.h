@@ -1,7 +1,9 @@
 #ifndef HETEX_STORAGE_TABLE_H_
 #define HETEX_STORAGE_TABLE_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +13,18 @@
 #include "storage/column.h"
 
 namespace hetex::storage {
+
+/// \brief Lightweight per-column statistics for planner cardinality estimation.
+///
+/// Computed lazily from a bounded stride sample of the staging data (a real
+/// engine's ANALYZE). `sampled == 0` means no staging rows were available
+/// (e.g. after DropStaging); estimators must fall back to catalog defaults.
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  uint64_t distinct = 0;  ///< estimated distinct values (exact when fully sampled)
+  uint64_t sampled = 0;   ///< rows the estimate was computed from
+};
 
 /// \brief A placed columnar table.
 ///
@@ -64,6 +78,20 @@ class Table {
   /// fits-in-GPU-memory decision for Fig. 4 vs Fig. 5).
   uint64_t ColumnSetBytes(const std::vector<std::string>& cols) const;
 
+  /// Planner statistics of column `idx`: min/max/distinct over a bounded stride
+  /// sample of the staging data. Computed on first request and cached;
+  /// `sampled == 0` when staging was dropped before stats were taken.
+  ColumnStats column_stats(int idx) const;
+
+  /// \brief Row sample for planner selectivity probes.
+  ///
+  /// Invokes `fn(row)` for up to `max_rows` evenly-strided staging rows and
+  /// returns the number of rows visited (0 when staging is unavailable). The
+  /// coster evaluates filter predicates over this sample to estimate
+  /// selectivities the way an engine would from a catalog sample.
+  uint64_t SampleRows(uint64_t max_rows,
+                      const std::function<void(uint64_t)>& fn) const;
+
   /// Frees the staging vectors after Place() when no reference evaluation will
   /// read them (large synthetic benchmark inputs).
   void DropStaging();
@@ -77,6 +105,9 @@ class Table {
   std::vector<Chunk> chunks_;
   memory::MemoryRegistry* placed_mem_ = nullptr;
   bool pinned_ = true;
+
+  mutable std::mutex stats_mu_;
+  mutable std::unordered_map<int, ColumnStats> stats_cache_;
 };
 
 /// Name -> table registry.

@@ -1,0 +1,275 @@
+#include "plan/coster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "plan/enumerator.h"
+#include "plan/optimizer.h"
+#include "test_util.h"
+
+namespace hetex {
+namespace {
+
+using plan::ExecPolicy;
+using test::TestEnv;
+
+/// Environment with dimension-size overrides (the skewed-cardinality regimes:
+/// tiny cache-resident build sides vs build sides rivaling the fact table).
+struct SkewEnv {
+  SkewEnv(uint64_t lineorder_rows, uint64_t customer_rows, uint64_t part_rows) {
+    core::System::Options opts;
+    opts.topology.num_sockets = 2;
+    opts.topology.cores_per_socket = 2;
+    opts.topology.num_gpus = 2;
+    opts.topology.gpu_sim_threads = 2;
+    opts.topology.host_capacity_per_socket = 4ull << 30;
+    opts.topology.gpu_capacity = 1ull << 30;
+    opts.blocks.block_bytes = 64 << 10;
+    opts.blocks.host_arena_blocks = 256;
+    opts.blocks.gpu_arena_blocks = 128;
+    system = std::make_unique<core::System>(opts);
+
+    ssb::Ssb::Options ssb_opts;
+    ssb_opts.lineorder_rows = lineorder_rows;
+    ssb_opts.scale = 0.002;
+    ssb_opts.customer_rows = customer_rows;
+    ssb_opts.part_rows = part_rows;
+    ssb = std::make_unique<ssb::Ssb>(ssb_opts, &system->catalog());
+    for (const char* name :
+         {"lineorder", "date", "customer", "supplier", "part"}) {
+      HETEX_CHECK_OK(system->catalog().at(name).Place(system->HostNodes(),
+                                                      &system->memory()));
+    }
+  }
+
+  std::unique_ptr<core::System> system;
+  std::unique_ptr<ssb::Ssb> ssb;
+};
+
+double Measure(core::System* system, const plan::QuerySpec& spec,
+               const plan::HetPlan& plan) {
+  core::QueryExecutor executor(system);
+  const core::QueryResult r = executor.ExecutePlan(spec, plan);
+  EXPECT_TRUE(r.status.ok()) << spec.name << ": " << r.status.ToString();
+  return r.status.ok() ? r.modeled_seconds : -1.0;
+}
+
+double EstimateFor(core::System* system, const plan::QuerySpec& spec,
+                   const plan::HetPlan& plan) {
+  plan::PlanCoster::Options opts;
+  opts.pack_block_rows = system->blocks().options().block_bytes / 8;
+  plan::PlanCoster coster(spec, system->catalog(), system->topology(), opts);
+  auto cost = coster.Cost(plan);
+  EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+  return cost.ok() ? cost.value().total : -1.0;
+}
+
+TEST(CardinalityTest, SampledSelectivitiesMatchKnownSsbFractions) {
+  TestEnv env(20'000);
+  // Q1.1: date filter d_year = 1993 selects one of seven years; the fact
+  // filter (discount/quantity ranges) survives a known ~8% of lineorder.
+  const auto spec = env.ssb->Query(1, 1);
+  const auto cards =
+      plan::EstimateCardinalities(spec, env.system->catalog());
+  EXPECT_EQ(cards.fact_rows, env.system->catalog().at("lineorder").rows());
+  EXPECT_GT(cards.fact_selectivity, 0.02);
+  EXPECT_LT(cards.fact_selectivity, 0.25);
+  ASSERT_EQ(cards.join_selectivities.size(), 1u);
+  EXPECT_NEAR(cards.join_selectivities[0], 1.0 / 7, 0.05);
+  EXPECT_LT(cards.output_rows, cards.fact_rows);
+}
+
+TEST(CardinalityTest, BuildSidesReflectFilteredRows) {
+  TestEnv env(5'000);
+  // Q3.1 filters customer and supplier to one region of five.
+  const auto spec = env.ssb->Query(3, 1);
+  const auto cards =
+      plan::EstimateCardinalities(spec, env.system->catalog());
+  ASSERT_EQ(cards.build_rows.size(), 3u);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_LT(cards.build_rows[j], cards.build_input_rows[j]);
+    EXPECT_NEAR(cards.join_selectivities[j], 1.0 / 5, 0.12) << "join " << j;
+  }
+}
+
+TEST(PlanCosterTest, CostParamsAreTheSingleSourceOfTruth) {
+  // The planner stamps and the runtime simulation must price control-plane
+  // operators from one struct: CostModel's defaults are seeded from it.
+  const plan::CostParams params;
+  const sim::CostModel cm = sim::CostModel::Paper();
+  EXPECT_EQ(cm.router_init_latency, params.router_init_latency);
+  EXPECT_EQ(cm.router_control_cost, params.router_control_cost);
+  EXPECT_EQ(cm.segmenter_block_cost, params.segmenter_block_cost);
+  EXPECT_EQ(cm.task_spawn_latency, params.task_spawn_latency);
+  EXPECT_EQ(cm.dma_latency, params.dma_latency);
+  EXPECT_EQ(cm.kernel_launch_latency, params.kernel_launch_latency);
+}
+
+TEST(PlanCosterTest, BreakdownShapesMatchPlanShapes) {
+  TestEnv env(10'000);
+  const auto spec = env.ssb->Query(2, 1);
+  plan::PlanCoster coster(spec, env.system->catalog(), env.system->topology());
+
+  ExecPolicy routed = TestEnv::Tune(ExecPolicy::CpuOnly(2));
+  const auto with_routers = coster.Cost(
+      plan::BuildHetPlan(spec, routed, env.system->topology()));
+  ASSERT_TRUE(with_routers.ok());
+  EXPECT_GT(with_routers.value().init, 0.0);
+  EXPECT_GT(with_routers.value().build, 0.0);
+  EXPECT_GT(with_routers.value().probe, 0.0);
+  EXPECT_GT(with_routers.value().total, with_routers.value().init);
+
+  const auto bare = coster.Cost(plan::BuildHetPlan(
+      spec, ExecPolicy::Bare(sim::DeviceType::kCpu), env.system->topology()));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().init, 0.0);  // no routers to bring up
+  EXPECT_GT(bare.value().total, 0.0);
+}
+
+TEST(PlanCosterTest, RejectsMalformedPlans) {
+  TestEnv env(5'000);
+  const auto spec = env.ssb->Query(1, 1);
+  plan::PlanCoster coster(spec, env.system->catalog(), env.system->topology());
+  plan::HetPlan broken = plan::BuildHetPlan(
+      spec, TestEnv::Tune(ExecPolicy::CpuOnly(2)), env.system->topology());
+  broken.root = -1;
+  EXPECT_FALSE(coster.Cost(broken).ok());
+}
+
+/// Estimate-quality core: the coster must order fused vs split the same way
+/// the measured virtual time does, under deterministic (round-robin) routing.
+void CheckFusedVsSplitOrdering(core::System* system, const plan::QuerySpec& spec) {
+  ExecPolicy fused = TestEnv::Tune(ExecPolicy::Hybrid(3));
+  fused.load_balance = false;
+  ExecPolicy split = fused;
+  split.split_probe_stage = true;
+
+  const plan::HetPlan fused_plan =
+      plan::BuildHetPlan(spec, fused, system->topology());
+  const plan::HetPlan split_plan =
+      plan::BuildHetPlan(spec, split, system->topology());
+
+  const double est_fused = EstimateFor(system, spec, fused_plan);
+  const double est_split = EstimateFor(system, spec, split_plan);
+  const double meas_fused = Measure(system, spec, fused_plan);
+  const double meas_split = Measure(system, spec, split_plan);
+  ASSERT_GT(est_fused, 0);
+  ASSERT_GT(meas_fused, 0);
+  EXPECT_EQ(est_fused < est_split, meas_fused < meas_split)
+      << spec.name << ": est " << est_fused << " vs " << est_split
+      << ", measured " << meas_fused << " vs " << meas_split;
+}
+
+TEST(PlanCosterTest, FusedVsSplitOrderingSmallBuildSides) {
+  // Default test dimensions: cache-resident build sides.
+  TestEnv env(20'000);
+  CheckFusedVsSplitOrdering(env.system.get(), env.ssb->Query(3, 1));
+  CheckFusedVsSplitOrdering(env.system.get(), env.ssb->Query(1, 1));
+}
+
+TEST(PlanCosterTest, FusedVsSplitOrderingLargeBuildSides) {
+  // Skewed SSB cardinalities: dimension tables rivaling the fact table, so
+  // hash tables leave the near class and the build phase dominates.
+  SkewEnv env(/*lineorder_rows=*/8'000, /*customer_rows=*/30'000,
+              /*part_rows=*/30'000);
+  CheckFusedVsSplitOrdering(env.system.get(), env.ssb->Query(3, 1));
+  CheckFusedVsSplitOrdering(env.system.get(), env.ssb->Query(2, 1));
+}
+
+TEST(PlanOptimizerTest, ExecuteOptimizedMatchesReference) {
+  TestEnv env(10'000);
+  core::QueryExecutor executor(env.system.get());
+  const auto spec = env.ssb->Query(3, 2);
+  plan::OptimizeResult explain;
+  const auto result = executor.ExecuteOptimized(
+      spec, TestEnv::Tune(ExecPolicy::Hybrid(3)), &explain);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.rows, env.Reference(spec));
+  EXPECT_FALSE(explain.ranked.empty());
+  EXPECT_FALSE(explain.ToString().empty());
+}
+
+TEST(PlanOptimizerTest, EnumeratorRespectsBaseConstraints) {
+  TestEnv env(5'000);
+  const auto spec = env.ssb->Query(1, 2);
+
+  // CPU-only base: no candidate may place work on a GPU.
+  const auto cpu_cands = plan::EnumeratePlans(
+      spec, TestEnv::Tune(ExecPolicy::CpuOnly(3)), env.system->topology());
+  ASSERT_FALSE(cpu_cands.empty());
+  for (const auto& cand : cpu_cands) {
+    for (const auto& node : cand.plan.nodes) {
+      EXPECT_NE(node.device, sim::DeviceType::kGpu) << cand.label;
+    }
+  }
+
+  // Bare base: the shape is pinned, no search.
+  const auto bare = plan::EnumeratePlans(
+      spec, ExecPolicy::Bare(sim::DeviceType::kCpu), env.system->topology());
+  EXPECT_EQ(bare.size(), 1u);
+
+  // Hybrid base: fused and split shapes, multiple placements.
+  const auto het_cands = plan::EnumeratePlans(
+      spec, TestEnv::Tune(ExecPolicy::Hybrid(3)), env.system->topology());
+  EXPECT_GT(het_cands.size(), 6u);
+  bool has_split = false;
+  for (const auto& cand : het_cands) has_split |= cand.policy.split_probe_stage;
+  EXPECT_TRUE(has_split);
+}
+
+// --------------------------------------------------------------------------
+// Acceptance criterion: on the full 13-query SSB matrix the optimizer's
+// picked plan is never worse than 1.2x the measured-best candidate.
+// --------------------------------------------------------------------------
+
+class OptimizerAccuracyTest : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  static TestEnv* env() {
+    static TestEnv* instance = new TestEnv(20'000);
+    return instance;
+  }
+};
+
+TEST_P(OptimizerAccuracyTest, PickedPlanWithin1_2xOfMeasuredBest) {
+  const auto [flight, idx] = GetParam();
+  const auto spec = env()->ssb->Query(flight, idx);
+  core::QueryExecutor executor(env()->system.get());
+
+  plan::OptimizeResult opt;
+  ASSERT_TRUE(
+      executor.Optimize(spec, TestEnv::Tune(ExecPolicy::Hybrid(3)), &opt).ok());
+  ASSERT_FALSE(opt.ranked.empty());
+
+  double best_measured = -1;
+  double picked_measured = -1;
+  for (size_t i = 0; i < opt.ranked.size(); ++i) {
+    const double t =
+        Measure(env()->system.get(), spec, opt.ranked[i].candidate.plan);
+    ASSERT_GT(t, 0) << opt.ranked[i].candidate.label;
+    if (i == 0) picked_measured = t;
+    if (best_measured < 0 || t < best_measured) best_measured = t;
+  }
+  EXPECT_LE(picked_measured, 1.2 * best_measured)
+      << spec.name << ": picked " << opt.best().label << " at "
+      << picked_measured << "s vs measured best " << best_measured << "s\n"
+      << opt.ToString();
+}
+
+std::vector<std::pair<int, int>> AllSsbQueries() {
+  std::vector<std::pair<int, int>> qs;
+  for (int f = 1; f <= 4; ++f) {
+    for (int i = 1; i <= ssb::Ssb::FlightSize(f); ++i) qs.push_back({f, i});
+  }
+  return qs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, OptimizerAccuracyTest,
+                         ::testing::ValuesIn(AllSsbQueries()),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param.first) +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace hetex

@@ -126,6 +126,42 @@ TEST_F(TableTest, ColumnSetBytes) {
   EXPECT_EQ(t->ColumnSetBytes({"a", "b"}), 400u + 800u);
 }
 
+TEST_F(TableTest, ColumnStatsExactOnSmallTables) {
+  auto t = MakeTable(500);  // under the sample bound: full scan, exact stats
+  const ColumnStats a = t->column_stats(t->ColumnIndex("a"));
+  EXPECT_EQ(a.min, 0);
+  EXPECT_EQ(a.max, 499);
+  EXPECT_EQ(a.distinct, 500u);
+  EXPECT_EQ(a.sampled, 500u);
+}
+
+TEST_F(TableTest, ColumnStatsSeeSmallDomains) {
+  auto t = std::make_unique<Table>("dom");
+  Column* c = t->AddColumn("c", ColType::kInt32);
+  for (uint64_t i = 0; i < 1000; ++i) c->Append(static_cast<int64_t>(i % 7));
+  const ColumnStats s = t->column_stats(0);
+  EXPECT_EQ(s.distinct, 7u);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 6);
+}
+
+TEST_F(TableTest, SampleRowsVisitsBoundedStride) {
+  auto t = MakeTable(1000);
+  uint64_t visited = 0;
+  const uint64_t n = t->SampleRows(100, [&](uint64_t) { ++visited; });
+  EXPECT_EQ(n, visited);
+  EXPECT_GT(n, 0u);
+  EXPECT_LE(n, 100u);
+}
+
+TEST_F(TableTest, StatsUnavailableAfterDropStaging) {
+  auto t = MakeTable(64);
+  ASSERT_TRUE(t->Place({topo_.socket(0).mem}, &mem_).ok());
+  t->DropStaging();
+  EXPECT_EQ(t->column_stats(0).sampled, 0u);
+  EXPECT_EQ(t->SampleRows(16, [](uint64_t) {}), 0u);
+}
+
 TEST(Catalog, CreateAndLookup) {
   Catalog catalog;
   Table* t = catalog.CreateTable("foo");
