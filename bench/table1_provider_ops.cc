@@ -91,7 +91,9 @@ void BM_ExecuteSumPipeline(benchmark::State& state) {
     req.instance_accs = instance_accs;
     req.shared_accs = shared;
     req.earliest = 0;
-    g_system->ResetVirtualTime();
+    // Fresh session each iteration: anchoring past the resource horizon makes
+    // the shared kernel stream look idle (the session-scoped reset).
+    provider->set_session_epoch(g_system->VirtualHorizon());
     auto result = provider->Execute(program, req);
     benchmark::DoNotOptimize(result.end);
     modeled = result.end;

@@ -1,0 +1,175 @@
+// Throughput benchmark: the mixed SSB workload pushed through the concurrent
+// query scheduler at rising admission caps. Reports queries/sec on the modeled
+// server plus p50/p99 client-observed latency (admission queue wait included)
+// per concurrency level, as JSON — the offered-load curve of the server model.
+//
+// Usage:
+//   bench_throughput_bench [--check] [--rows N] [--repeat K]
+//
+// --check exits nonzero unless (a) modeled queries/sec rises from concurrency
+// 1 to 4 and (b) every query's rows match the concurrency-1 run (parity gate).
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/scheduler.h"
+#include "core/system.h"
+#include "ssb/ssb.h"
+
+namespace hetex {
+namespace {
+
+struct LevelStats {
+  int concurrency = 0;
+  int queries = 0;
+  double makespan_modeled_s = 0;  ///< virtual batch completion time
+  double qps_modeled = 0;         ///< queries / makespan (modeled)
+  double p50_latency_s = 0;       ///< queue wait + execution, modeled
+  double p99_latency_s = 0;
+  double mean_queue_wait_s = 0;
+  double wall_s = 0;              ///< host wall clock of the functional run
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+}  // namespace hetex
+
+int main(int argc, char** argv) {
+  using namespace hetex;  // NOLINT — bench brevity
+
+  uint64_t rows = 60'000;
+  int repeat = 2;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+    }
+  }
+
+  core::System::Options opts;
+  opts.topology.num_sockets = 2;
+  opts.topology.cores_per_socket = 2;
+  opts.topology.num_gpus = 2;
+  opts.topology.gpu_sim_threads = 2;
+  opts.topology.host_capacity_per_socket = 4ull << 30;
+  opts.topology.gpu_capacity = 1ull << 30;
+  opts.blocks.block_bytes = 64 << 10;
+  opts.blocks.host_arena_blocks = 512;
+  opts.blocks.gpu_arena_blocks = 256;
+  core::System system(opts);
+
+  ssb::Ssb::Options ssb_opts;
+  ssb_opts.lineorder_rows = rows;
+  ssb_opts.scale = 0.002;
+  ssb::Ssb ssb(ssb_opts, &system.catalog());
+  for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+    HETEX_CHECK_OK(
+        system.catalog().at(name).Place(system.HostNodes(), &system.memory()));
+  }
+
+  // The mixed workload: 8 distinct SSB queries spanning all four flights,
+  // repeated `repeat` times per level.
+  const std::vector<std::pair<int, int>> kMix = {
+      {1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}, {3, 2}, {4, 1}, {4, 2}};
+  std::vector<plan::QuerySpec> workload;
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& [flight, idx] : kMix) workload.push_back(ssb.Query(flight, idx));
+  }
+
+  std::vector<LevelStats> levels;
+  std::vector<std::vector<std::vector<int64_t>>> baseline_rows;
+  bool parity_ok = true;
+
+  for (int concurrency : {1, 2, 4, 8}) {
+    core::QueryScheduler scheduler(&system, {.max_concurrent = concurrency});
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<core::QueryHandle> handles;
+    handles.reserve(workload.size());
+    for (const auto& spec : workload) handles.push_back(scheduler.Submit(spec));
+
+    LevelStats level;
+    level.concurrency = concurrency;
+    level.queries = static_cast<int>(workload.size());
+    std::vector<double> latencies;
+    double base = 0, last_end = 0, wait_sum = 0;
+    bool first = true;
+    for (size_t i = 0; i < handles.size(); ++i) {
+      core::QueryResult r = scheduler.Wait(handles[i]);
+      HETEX_CHECK(r.status.ok())
+          << workload[i].name << ": " << r.status.ToString();
+      const double arrival = r.session_epoch - r.queue_wait;
+      if (first || arrival < base) base = arrival;
+      first = false;
+      last_end = std::max(last_end, r.session_epoch + r.modeled_seconds);
+      latencies.push_back(r.queue_wait + r.modeled_seconds);
+      wait_sum += r.queue_wait;
+      if (concurrency == 1) {
+        baseline_rows.push_back(std::move(r.rows));
+      } else if (r.rows != baseline_rows[i]) {
+        parity_ok = false;
+        std::fprintf(stderr, "PARITY FAILURE: %s rows diverge at concurrency %d\n",
+                     workload[i].name.c_str(), concurrency);
+      }
+    }
+    level.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    level.makespan_modeled_s = last_end - base;
+    level.qps_modeled =
+        level.makespan_modeled_s > 0
+            ? static_cast<double>(level.queries) / level.makespan_modeled_s
+            : 0;
+    level.p50_latency_s = Percentile(latencies, 0.50);
+    level.p99_latency_s = Percentile(latencies, 0.99);
+    level.mean_queue_wait_s = wait_sum / static_cast<double>(latencies.size());
+    levels.push_back(level);
+  }
+
+  std::printf("{\n  \"lineorder_rows\": %" PRIu64 ",\n  \"levels\": [\n", rows);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const LevelStats& l = levels[i];
+    std::printf("    {\"concurrency\": %d, \"queries\": %d, "
+                "\"makespan_modeled_s\": %.6f, \"qps_modeled\": %.2f, "
+                "\"p50_latency_s\": %.6f, \"p99_latency_s\": %.6f, "
+                "\"mean_queue_wait_s\": %.6f, \"wall_s\": %.3f}%s\n",
+                l.concurrency, l.queries, l.makespan_modeled_s, l.qps_modeled,
+                l.p50_latency_s, l.p99_latency_s, l.mean_queue_wait_s, l.wall_s,
+                i + 1 < levels.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+
+  if (check) {
+    const double qps1 = levels[0].qps_modeled;
+    const double qps4 = levels[2].qps_modeled;
+    if (!parity_ok) {
+      std::fprintf(stderr, "CHECK FAILED: concurrent rows diverge from serial\n");
+      return 1;
+    }
+    if (qps4 <= qps1) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: queries/sec did not rise with concurrency "
+                   "(c1=%.2f, c4=%.2f)\n",
+                   qps1, qps4);
+      return 1;
+    }
+    std::fprintf(stderr, "check ok: qps c1=%.2f c4=%.2f (%.2fx), parity ok\n",
+                 qps1, qps4, qps4 / qps1);
+  }
+  return 0;
+}

@@ -1,10 +1,17 @@
 #include "core/executor.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 #include "core/compiler.h"
 #include "core/graph_builder.h"
+#include "core/scheduler.h"
 
 namespace hetex::core {
+
+QueryExecutor::QueryExecutor(System* system) : system_(system) {}
+
+QueryExecutor::~QueryExecutor() = default;
 
 QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec) {
   return ExecuteOptimized(spec, plan::ExecPolicy{});
@@ -19,8 +26,23 @@ QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec,
 Status QueryExecutor::Optimize(const plan::QuerySpec& spec,
                                const plan::ExecPolicy& base,
                                plan::OptimizeResult* out) const {
+  // An idle arrival: every link's backlog beyond the horizon is zero.
+  return OptimizeAt(spec, base, system_->VirtualHorizon(), out);
+}
+
+Status QueryExecutor::OptimizeAt(const plan::QuerySpec& spec,
+                                 const plan::ExecPolicy& base, sim::VTime epoch,
+                                 plan::OptimizeResult* out) const {
   plan::PlanCoster::Options opts;
   opts.pack_block_rows = system_->blocks().options().block_bytes / 8;
+  // Load signal: work already queued on each PCIe link past this session's
+  // arrival. In-flight queries' transfers serialize ahead of ours, so the
+  // coster charges them as a start offset on the link occupancy bound.
+  const sim::Topology& topo = system_->topology();
+  opts.link_backlog.resize(topo.num_pcie_links());
+  for (int l = 0; l < topo.num_pcie_links(); ++l) {
+    opts.link_backlog[l] = std::max(0.0, topo.pcie_link(l).free_at() - epoch);
+  }
   return plan::Optimize(spec, base, system_->catalog(), system_->topology(),
                         out, opts);
 }
@@ -46,18 +68,26 @@ std::string QueryExecutor::Explain(const plan::QuerySpec& spec,
 
 QueryResult QueryExecutor::ExecutePlan(const plan::QuerySpec& spec,
                                        const plan::HetPlan& plan) {
+  // Solo session: a fresh id and an epoch past every shared-resource backlog,
+  // so the query sees an idle server (the session-scoped equivalent of the old
+  // rewind-all-clocks reset — but safe with other queries in flight).
+  const QuerySession session{system_->NextQueryId(), system_->VirtualHorizon()};
+  return ExecutePlan(spec, plan, session);
+}
+
+QueryResult QueryExecutor::ExecutePlan(const plan::QuerySpec& spec,
+                                       const plan::HetPlan& plan,
+                                       const QuerySession& session) {
   Timer timer;
   QueryResult result;
-
-  // Each query runs on a fresh virtual timeline (one query at a time).
-  system_->ResetVirtualTime();
+  result.query_id = session.query_id;
 
   // Every plan — heuristic or hand-mutated — passes the §3.3 converter rules
   // before it is allowed to touch the runtime.
   result.status = plan::ValidateHetPlan(plan);
   if (!result.status.ok()) return result;
 
-  GraphBuilder builder(system_, &plan);
+  GraphBuilder builder(system_, &plan, &session);
   result.status = builder.Analyze();
   if (!result.status.ok()) return result;
 
@@ -67,6 +97,29 @@ QueryResult QueryExecutor::ExecutePlan(const plan::QuerySpec& spec,
 
   system_->blocks().FlushReleases();
   return result;
+}
+
+QueryScheduler& QueryExecutor::scheduler() {
+  std::lock_guard<std::mutex> lock(scheduler_mu_);
+  if (scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<QueryScheduler>(system_);
+  }
+  return *scheduler_;
+}
+
+QueryHandle QueryExecutor::Submit(const plan::QuerySpec& spec) {
+  return scheduler().Submit(spec);
+}
+
+QueryHandle QueryExecutor::Submit(const plan::QuerySpec& spec,
+                                  const plan::ExecPolicy& policy) {
+  SubmitOptions opts;
+  opts.policy = policy;
+  return scheduler().Submit(spec, std::move(opts));
+}
+
+QueryResult QueryExecutor::Wait(QueryHandle handle) {
+  return scheduler().Wait(handle);
 }
 
 }  // namespace hetex::core

@@ -1,6 +1,8 @@
 #ifndef HETEX_CORE_EXECUTOR_H_
 #define HETEX_CORE_EXECUTOR_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,21 @@
 
 namespace hetex::core {
 
+/// \brief Identity of one in-flight query on the shared virtual timeline.
+///
+/// `epoch` is the absolute virtual time at which the query arrived at the
+/// server. Everything inside the query — instance clocks, block timestamps,
+/// the reported latency — stays session-local (starts near zero); the epoch
+/// anchors every reservation on a shared resource (PCIe links, DMA engines,
+/// GPU kernel streams) at `epoch + session-local time`, so concurrent queries
+/// charge each other contention while a query on an idle server behaves
+/// exactly as the old rewind-to-zero model did. `query_id` namespaces the
+/// query's hash tables in the System-shared HtRegistry.
+struct QuerySession {
+  uint64_t query_id = 0;
+  sim::VTime epoch = 0;
+};
+
 /// Outcome of a query execution.
 struct QueryResult {
   Status status = Status::OK();
@@ -22,7 +39,24 @@ struct QueryResult {
   sim::VTime modeled_seconds = 0;  ///< virtual-time latency on the modeled server
   double wall_seconds = 0;         ///< host wall-clock of the functional execution
   sim::CostStats stats;            ///< aggregate work counters
+  uint64_t query_id = 0;           ///< session id the query ran under
+  /// Scheduled queries only: virtual arrival offset relative to the workload
+  /// base (as submitted), the absolute epoch the session actually started at,
+  /// and the admission queue wait in virtual time (epoch minus arrival).
+  /// `queue_wait + modeled_seconds` is the client-observed latency;
+  /// `session_epoch + modeled_seconds` orders completions across a batch
+  /// (throughput accounting).
+  sim::VTime arrival_offset = 0;
+  sim::VTime session_epoch = 0;
+  sim::VTime queue_wait = 0;
 };
+
+/// Opaque handle to a query submitted to the concurrent scheduler.
+struct QueryHandle {
+  uint64_t id = 0;
+};
+
+class QueryScheduler;
 
 /// \brief Thin orchestrator: (optimize →) plan → validate → lower → run → collect.
 ///
@@ -38,7 +72,11 @@ struct QueryResult {
 /// QueryResult::status instead of executing.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(System* system) : system_(system) {}
+  explicit QueryExecutor(System* system);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
 
   /// Optimizes by default: enumerates, costs and runs the cheapest candidate
   /// under an unconstrained hybrid base policy.
@@ -59,6 +97,14 @@ class QueryExecutor {
   Status Optimize(const plan::QuerySpec& spec, const plan::ExecPolicy& base,
                   plan::OptimizeResult* out) const;
 
+  /// Optimization as seen by a session arriving at absolute virtual time
+  /// `epoch`: the coster reads each PCIe link's outstanding backlog beyond the
+  /// epoch as a load signal, so plans picked under load account for the
+  /// in-flight queries already queued on the interconnects. `Optimize` is this
+  /// with epoch = VirtualHorizon() (an idle arrival: zero backlog).
+  Status OptimizeAt(const plan::QuerySpec& spec, const plan::ExecPolicy& base,
+                    sim::VTime epoch, plan::OptimizeResult* out) const;
+
   /// Human-readable ranked candidate table for `spec` under `base` (the
   /// EXPLAIN path; returns the error text when optimization fails).
   std::string Explain(const plan::QuerySpec& spec, const plan::ExecPolicy& base) const;
@@ -66,10 +112,31 @@ class QueryExecutor {
   /// Runs a pre-built — possibly hand-mutated — heterogeneity-aware plan.
   /// Changing the plan (router policies, placements, block granularity) changes
   /// the execution without any engine code change.
+  ///
+  /// The sessionless overload allocates a fresh solo session anchored at the
+  /// resource horizon (idle arrival: latency identical to the old
+  /// reset-the-clocks model); the session overload is the scheduler's entry
+  /// point for concurrent execution on a shared timeline.
   QueryResult ExecutePlan(const plan::QuerySpec& spec, const plan::HetPlan& plan);
+  QueryResult ExecutePlan(const plan::QuerySpec& spec, const plan::HetPlan& plan,
+                          const QuerySession& session);
+
+  /// \name Concurrent execution
+  /// Submits a query to the scheduler (admission-controlled, runs concurrently
+  /// with other in-flight queries against this System) and waits for its
+  /// result. The scheduler is created on first use with default options; use
+  /// `scheduler()` for arrival offsets, pinned policies and admission tuning.
+  /// @{
+  QueryHandle Submit(const plan::QuerySpec& spec);
+  QueryHandle Submit(const plan::QuerySpec& spec, const plan::ExecPolicy& policy);
+  QueryResult Wait(QueryHandle handle);
+  QueryScheduler& scheduler();
+  /// @}
 
  private:
   System* system_;
+  std::mutex scheduler_mu_;
+  std::unique_ptr<QueryScheduler> scheduler_;
 };
 
 }  // namespace hetex::core

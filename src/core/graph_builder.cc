@@ -413,11 +413,31 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     return Status::Internal("lowered graph has no fact stages (Analyze not run?)");
   }
 
-  HtRegistry hts;
+  // The session anchors this query on the shared virtual timeline: its epoch
+  // offsets every reservation on contended resources (PCIe links, GPU
+  // streams), its id namespaces the hash tables in the System-shared registry.
+  const QuerySession session =
+      session_ != nullptr
+          ? *session_
+          : QuerySession{system_->NextQueryId(), system_->VirtualHorizon()};
+  HtRegistry& hts = system_->hts();
+  // The namespace only lives for the run; release it on every exit path.
+  struct HtNamespaceGuard {
+    HtRegistry* hts;
+    uint64_t query;
+    ~HtNamespaceGuard() { hts->DropQuery(query); }
+  } ht_guard{&hts, session.query_id};
+
   ResultSink sink;
   const sim::VTime init_clock = spec_.init_latency;
   const uint64_t block_bytes = system_->blocks().options().block_bytes;
   const size_t channel_capacity = static_cast<size_t>(spec_.channel_capacity);
+
+  auto session_edge_options = [&](const StageSpec& stage) {
+    Edge::Options options = stage.in.options;
+    options.epoch = session.epoch;
+    return options;
+  };
 
   auto make_config = [&](const StageSpec& stage) {
     auto cfg = std::make_unique<StageConfig>();
@@ -439,6 +459,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
         cfg->result = &sink;
         break;
     }
+    cfg->query_id = session.query_id;
     cfg->hts = &hts;
     cfg->programs = &system_->program_cache();
     cfg->block_bytes = block_bytes;
@@ -477,7 +498,17 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       }
       indices.push_back(idx);
     }
-    const uint64_t block_rows = seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
+    uint64_t block_rows = seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
+    // GPU-fed stages bound the granularity: a scan block must fit one staging
+    // arena block when the mem-move copies it to device memory, and one GPU
+    // emit bucket (block_bytes / 8-byte slots) when the stage packs output.
+    // Plans stamped coarser are clamped here — never crashed at transfer time.
+    const bool has_gpu_instance =
+        std::any_of(stage.instances.begin(), stage.instances.end(),
+                    [](sim::DeviceId dev) { return dev.is_gpu(); });
+    if (has_gpu_instance) {
+      block_rows = std::min(block_rows, std::max<uint64_t>(1, block_bytes / 8));
+    }
     *out = std::make_unique<SourceDriver>(system_, table, std::move(indices),
                                           block_rows, edge, clock,
                                           seg.per_block_cost);
@@ -503,8 +534,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       rt.cfg->pipeline = compiler->CompileSpan(stage.span, nullptr);
       rt.group = std::make_unique<WorkerGroup>(
           system_, stage.instances, FactoryFor(rt.cfg.get()), nullptr,
-          channel_capacity, init_clock);
-      rt.edge = std::make_unique<Edge>(system_, stage.in.options,
+          channel_capacity, init_clock, session.epoch);
+      rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                        rt.group->instance_ptrs());
       Status st = make_source(stage, *rt.cfg, rt.edge.get(), init_clock,
                               &rt.source);
@@ -523,7 +554,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   }
 
   // Probe-side clocks start at the hash-table completion watermark.
-  const sim::VTime probe_start = sim::MaxT(init_clock, hts.build_done());
+  const sim::VTime probe_start =
+      sim::MaxT(init_clock, hts.build_done(session.query_id));
 
   // -------------------------------------------------------------- fact stages
   std::vector<CompiledPipeline> pipelines;
@@ -548,8 +580,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     }
     rt.group = std::make_unique<WorkerGroup>(
         system_, stage.instances, FactoryFor(rt.cfg.get()), downstream,
-        channel_capacity, probe_start);
-    rt.edge = std::make_unique<Edge>(system_, stage.in.options,
+        channel_capacity, probe_start, session.epoch);
+    rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                      rt.group->instance_ptrs());
     downstream = rt.edge.get();
     if (stage.in.segmenter != -1) {

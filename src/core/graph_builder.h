@@ -68,8 +68,12 @@ struct LoweredSpec {
 /// not change the generated pipeline.
 class GraphBuilder {
  public:
-  GraphBuilder(System* system, const plan::HetPlan* plan)
-      : system_(system), plan_(plan) {}
+  /// `session` identifies the owning query on the shared virtual timeline
+  /// (hash-table namespace + resource epoch); null = a fresh solo session is
+  /// allocated at Run() time.
+  GraphBuilder(System* system, const plan::HetPlan* plan,
+               const QuerySession* session = nullptr)
+      : system_(system), plan_(plan), session_(session) {}
 
   /// Partitions the plan DAG into the lowered spec. Fails (rather than CHECKs)
   /// on shapes the runtime cannot instantiate, so callers can surface the
@@ -95,6 +99,7 @@ class GraphBuilder {
  private:
   System* system_;
   const plan::HetPlan* plan_;
+  const QuerySession* session_;
   LoweredSpec spec_;
 };
 

@@ -1,0 +1,63 @@
+#include "core/ht_registry.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hetex::core {
+
+namespace {
+constexpr int kIntMin = std::numeric_limits<int>::min();
+}  // namespace
+
+jit::JoinHashTable* HtRegistry::Create(uint64_t query, int join_id,
+                                       sim::DeviceId unit,
+                                       memory::MemoryManager* mm,
+                                       uint64_t capacity, int payload_width) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{query, join_id, UnitOf(unit)};
+  HETEX_CHECK(tables_.find(key) == tables_.end())
+      << "duplicate hash table for query " << query << " join " << join_id;
+  auto ht = std::make_unique<jit::JoinHashTable>(mm, capacity, payload_width);
+  jit::JoinHashTable* raw = ht.get();
+  tables_[key] = std::move(ht);
+  return raw;
+}
+
+jit::JoinHashTable* HtRegistry::Get(uint64_t query, int join_id,
+                                    sim::DeviceId unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key{query, join_id, UnitOf(unit)});
+  HETEX_CHECK(it != tables_.end())
+      << "no hash table for query " << query << " join " << join_id
+      << " on unit " << unit.ToString();
+  return it->second.get();
+}
+
+void HtRegistry::DropQuery(uint64_t query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keys order by query first: erase the contiguous [ (query,min), (query+1,min) )
+  // range.
+  tables_.erase(tables_.lower_bound(Key{query, kIntMin, kIntMin}),
+                tables_.lower_bound(Key{query + 1, kIntMin, kIntMin}));
+  build_done_.erase(query);
+}
+
+uint64_t HtRegistry::TotalHtBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, ht] : tables_) total += ht->bytes();
+  return total;
+}
+
+int HtRegistry::NumTables(uint64_t query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (auto it = tables_.lower_bound(Key{query, kIntMin, kIntMin});
+       it != tables_.end() && std::get<0>(it->first) == query; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace hetex::core

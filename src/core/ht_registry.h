@@ -1,0 +1,67 @@
+#ifndef HETEX_CORE_HT_REGISTRY_H_
+#define HETEX_CORE_HT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "jit/hash_table.h"
+#include "sim/topology.h"
+#include "sim/vtime.h"
+
+namespace hetex::core {
+
+/// \brief Join hash tables shared between build and probe pipelines, keyed by
+/// (query, join id, device unit). A "unit" is one CPU socket or one GPU — the
+/// replica granularity of broadcast hash joins.
+///
+/// The registry is System-owned and shared by every in-flight query, so keys
+/// carry the owning query id: two concurrent queries joining the same dimension
+/// table build into disjoint namespaces instead of colliding on (join id, unit).
+/// The per-query build-completion watermark (the virtual time probe pipelines
+/// gate on) is namespaced the same way. `DropQuery` releases a finished query's
+/// tables and watermark.
+class HtRegistry {
+ public:
+  /// Unit key of a device: sockets and GPUs occupy disjoint ranges.
+  static int UnitOf(sim::DeviceId dev) {
+    return dev.is_cpu() ? dev.index : 1000 + dev.index;
+  }
+
+  jit::JoinHashTable* Create(uint64_t query, int join_id, sim::DeviceId unit,
+                             memory::MemoryManager* mm, uint64_t capacity,
+                             int payload_width);
+  jit::JoinHashTable* Get(uint64_t query, int join_id, sim::DeviceId unit) const;
+
+  void NoteBuildDone(uint64_t query, sim::VTime t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sim::VTime& done = build_done_[query];
+    done = sim::MaxT(done, t);
+  }
+  sim::VTime build_done(uint64_t query) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = build_done_.find(query);
+    return it != build_done_.end() ? it->second : 0.0;
+  }
+
+  /// Releases every hash table and the watermark of a finished query.
+  void DropQuery(uint64_t query);
+
+  /// Total bytes across all in-flight queries' tables (admission diagnostics).
+  uint64_t TotalHtBytes() const;
+  /// Tables currently registered for `query` (tests/diagnostics).
+  int NumTables(uint64_t query) const;
+
+ private:
+  using Key = std::tuple<uint64_t, int, int>;  // (query, join id, unit)
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<jit::JoinHashTable>> tables_;
+  std::map<uint64_t, sim::VTime> build_done_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_HT_REGISTRY_H_

@@ -80,12 +80,14 @@ void VmProcessor::Init(WorkerInstance& inst) {
 
   if (cfg_->role == StageConfig::Role::kBuild) {
     jit::JoinHashTable* ht = cfg_->hts->Create(
-        cfg_->build_join_id, inst.device(), &inst.provider().memory_manager(),
-        cfg_->build_capacity, cfg_->build_payload_width);
+        cfg_->query_id, cfg_->build_join_id, inst.device(),
+        &inst.provider().memory_manager(), cfg_->build_capacity,
+        cfg_->build_payload_width);
     ht_slots_[0] = ht;
   } else {
     for (size_t i = 0; i < pipeline.ht_join_slots.size(); ++i) {
-      ht_slots_[i] = cfg_->hts->Get(pipeline.ht_join_slots[i], inst.device());
+      ht_slots_[i] = cfg_->hts->Get(cfg_->query_id, pipeline.ht_join_slots[i],
+                                    inst.device());
     }
   }
 
@@ -290,7 +292,7 @@ void VmProcessor::Finish(WorkerInstance& inst) {
   }
   switch (cfg_->role) {
     case StageConfig::Role::kBuild:
-      cfg_->hts->NoteBuildDone(inst.clock());
+      cfg_->hts->NoteBuildDone(cfg_->query_id, inst.clock());
       break;
 
     case StageConfig::Role::kFilterStage: {

@@ -27,6 +27,10 @@ struct StageConfig {
   Role role = Role::kProbe;
   CompiledPipeline pipeline;
 
+  /// Owning query session: namespaces this stage's hash tables in the shared
+  /// HtRegistry so concurrent queries never collide on (join id, unit).
+  uint64_t query_id = 0;
+
   /// Per-device program cache: the group's N instances finalize each distinct
   /// span program exactly once. Null = every instance finalizes its own copy.
   ProgramCache* programs = nullptr;

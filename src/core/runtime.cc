@@ -7,12 +7,14 @@
 namespace hetex::core {
 
 WorkerInstance::WorkerInstance(int id, sim::DeviceId device, System* system,
-                               size_t channel_capacity)
+                               size_t channel_capacity, sim::VTime epoch)
     : id_(id),
       device_(device),
       system_(system),
       provider_(system->MakeProvider(device)),
-      channel_(channel_capacity) {}
+      channel_(channel_capacity) {
+  provider_->set_session_epoch(epoch);
+}
 
 Edge::Edge(System* system, Options options, std::vector<WorkerInstance*> consumers)
     : system_(system), options_(options), consumers_(std::move(consumers)) {
@@ -80,8 +82,9 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
                               sim::VTime earliest) {
       memory::Block* dst = system_->blocks().Acquire(dst_node, producer_node);
       HETEX_CHECK(dst->capacity >= src.bytes) << "staging block too small";
-      sim::TransferTicket ticket = system_->dma().Transfer(
-          src.data(), dst->data, src.bytes, link, earliest, !src.block->pinned);
+      sim::TransferTicket ticket =
+          system_->dma().Transfer(src.data(), dst->data, src.bytes, link,
+                                  earliest, !src.block->pinned, options_.epoch);
       memory::BlockHandle moved;
       moved.block = dst;
       moved.bytes = src.bytes;
@@ -219,15 +222,16 @@ void Edge::Push(DataMsg msg, sim::MemNodeId producer_node) {
 
 WorkerGroup::WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
                          ProcessorFactory factory, Edge* out,
-                         size_t channel_capacity, sim::VTime initial_clock)
+                         size_t channel_capacity, sim::VTime initial_clock,
+                         sim::VTime epoch)
     : system_(system),
       factory_(std::move(factory)),
       out_(out),
       initial_clock_(initial_clock) {
   int id = 0;
   for (const auto& dev : devices) {
-    instances_.push_back(
-        std::make_unique<WorkerInstance>(id++, dev, system, channel_capacity));
+    instances_.push_back(std::make_unique<WorkerInstance>(
+        id++, dev, system, channel_capacity, epoch));
   }
 }
 
@@ -345,34 +349,6 @@ void SourceDriver::Run() {
     }
   }
   out_->CloseProducer();
-}
-
-jit::JoinHashTable* HtRegistry::Create(int join_id, sim::DeviceId unit,
-                                       memory::MemoryManager* mm, uint64_t capacity,
-                                       int payload_width) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto key = std::make_pair(join_id, UnitOf(unit));
-  HETEX_CHECK(tables_.find(key) == tables_.end())
-      << "duplicate hash table for join " << join_id;
-  auto ht = std::make_unique<jit::JoinHashTable>(mm, capacity, payload_width);
-  jit::JoinHashTable* raw = ht.get();
-  tables_[key] = std::move(ht);
-  return raw;
-}
-
-jit::JoinHashTable* HtRegistry::Get(int join_id, sim::DeviceId unit) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(std::make_pair(join_id, UnitOf(unit)));
-  HETEX_CHECK(it != tables_.end())
-      << "no hash table for join " << join_id << " on unit " << unit.ToString();
-  return it->second.get();
-}
-
-uint64_t HtRegistry::TotalHtBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t total = 0;
-  for (const auto& [key, ht] : tables_) total += ht->bytes();
-  return total;
 }
 
 }  // namespace hetex::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "core/ht_registry.h"
 #include "core/system.h"
 #include "jit/device_provider.h"
 #include "jit/hash_table.h"
@@ -50,8 +51,11 @@ class WorkerGroup;
 /// channel.
 class WorkerInstance {
  public:
+  /// `epoch` is the absolute virtual arrival time of the owning query session:
+  /// the instance's clock stays session-local, and the epoch anchors the
+  /// provider's reservations on shared resources (GPU streams).
   WorkerInstance(int id, sim::DeviceId device, System* system,
-                 size_t channel_capacity);
+                 size_t channel_capacity, sim::VTime epoch = 0.0);
 
   int id() const { return id_; }
   sim::DeviceId device() const { return device_; }
@@ -136,6 +140,10 @@ class Edge {
     bool mem_move = true;            ///< insert the mem-move data-flow half
     double control_cost = 100e-9;    ///< router control-plane cost per message
     sim::VTime crossing_latency = 0; ///< e.g. gpu2cpu task-spawn latency
+    /// Absolute arrival time of the owning query session: DMA reservations on
+    /// the shared PCIe links are anchored at `epoch + session-local time`, so
+    /// concurrent queries charge each other link contention.
+    sim::VTime epoch = 0;
   };
 
   Edge(System* system, Options options, std::vector<WorkerInstance*> consumers);
@@ -189,7 +197,7 @@ class WorkerGroup {
  public:
   WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
               ProcessorFactory factory, Edge* out, size_t channel_capacity,
-              sim::VTime initial_clock);
+              sim::VTime initial_clock, sim::VTime epoch = 0.0);
 
   void Start();
   void Join();
@@ -264,38 +272,6 @@ class ResultSink {
   mutable std::mutex mu_;
   std::vector<std::vector<int64_t>> rows_;
   sim::VTime done_at_ = 0;
-};
-
-/// \brief Join hash tables shared between build and probe pipelines, keyed by
-/// (join id, device unit). A "unit" is one CPU socket or one GPU — the replica
-/// granularity of broadcast hash joins.
-class HtRegistry {
- public:
-  /// Unit key of a device: sockets and GPUs occupy disjoint ranges.
-  static int UnitOf(sim::DeviceId dev) {
-    return dev.is_cpu() ? dev.index : 1000 + dev.index;
-  }
-
-  jit::JoinHashTable* Create(int join_id, sim::DeviceId unit,
-                             memory::MemoryManager* mm, uint64_t capacity,
-                             int payload_width);
-  jit::JoinHashTable* Get(int join_id, sim::DeviceId unit) const;
-
-  void NoteBuildDone(sim::VTime t) {
-    std::lock_guard<std::mutex> lock(mu_);
-    build_done_ = sim::MaxT(build_done_, t);
-  }
-  sim::VTime build_done() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return build_done_;
-  }
-
-  uint64_t TotalHtBytes() const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<jit::JoinHashTable>> tables_;
-  sim::VTime build_done_ = 0;
 };
 
 }  // namespace hetex::core

@@ -1,0 +1,162 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hetex::core {
+
+QueryScheduler::QueryScheduler(System* system, Options options)
+    : system_(system), options_(options) {
+  HETEX_CHECK(options_.max_concurrent > 0) << "admission cap must be positive";
+  const uint64_t per_node = system_->blocks().options().host_arena_blocks;
+  total_blocks_ = per_node * system_->HostNodes().size();
+  default_budget_ = options_.memory_budget_blocks > 0
+                        ? options_.memory_budget_blocks
+                        : std::max<uint64_t>(
+                              1, total_blocks_ /
+                                     static_cast<uint64_t>(options_.max_concurrent));
+}
+
+QueryScheduler::~QueryScheduler() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    if (!waiting_.empty()) return false;
+    for (const auto& [id, task] : tasks_) {
+      if (!task->done) return false;
+    }
+    return true;
+  });
+  std::vector<std::thread> workers;
+  for (auto& [id, task] : tasks_) {
+    if (task->worker.joinable()) workers.push_back(std::move(task->worker));
+  }
+  tasks_.clear();
+  lock.unlock();
+  for (auto& w : workers) w.join();
+}
+
+QueryHandle QueryScheduler::Submit(const plan::QuerySpec& spec,
+                                   SubmitOptions opts) {
+  auto task = std::make_unique<Task>();
+  task->id = system_->NextQueryId();
+  task->spec = spec;
+  task->opts = std::move(opts);
+  task->budget = task->opts.memory_budget_blocks > 0
+                     ? task->opts.memory_budget_blocks
+                     : default_budget_;
+  QueryHandle handle{task->id};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ == 0 && waiting_.empty()) {
+      // Idle server, empty queue: a new busy period begins. Anchor it at the
+      // point every shared resource (and every past completion) is behind —
+      // queries of this period see a fresh server, the session-scoped
+      // analogue of the old global reset. Completion-triggered admissions
+      // stay inside the running period so their queue wait is measured.
+      workload_base_ = sim::MaxT(system_->VirtualHorizon(), clock_floor_);
+    }
+    waiting_.push_back(task.get());
+    tasks_[task->id] = std::move(task);
+    AdmitLocked(/*slot_freed_at=*/-1.0);
+  }
+  return handle;
+}
+
+void QueryScheduler::AdmitLocked(sim::VTime slot_freed_at) {
+  while (!waiting_.empty() && active_ < options_.max_concurrent) {
+    Task* task = waiting_.front();
+    // Memory admission: the query's staging-block budget must fit in what the
+    // running set left free. The head of the queue always fits on an idle
+    // server (budgets larger than the arenas must not deadlock the queue).
+    if (active_ > 0 && reserved_blocks_ + task->budget > total_blocks_) break;
+    waiting_.pop_front();
+    ++active_;
+    reserved_blocks_ += task->budget;
+    // The session starts at its arrival — or, when it had to queue for
+    // capacity, at the virtual completion of the query that freed its slot.
+    // The difference is the admission queue wait the client observes.
+    const sim::VTime arrival = workload_base_ + task->opts.arrival_offset;
+    const sim::VTime start = sim::MaxT(arrival, slot_freed_at);
+    task->queue_wait = start - arrival;
+    const QuerySession session{task->id, start};
+    task->worker = std::thread([this, task, session] { RunTask(task, session); });
+  }
+}
+
+void QueryScheduler::RunTask(Task* task, QuerySession session) {
+  QueryExecutor executor(system_);
+  QueryResult result;
+  if (task->opts.policy.has_value()) {
+    result = executor.ExecutePlan(
+        task->spec,
+        plan::BuildHetPlan(task->spec, *task->opts.policy, system_->topology()),
+        session);
+  } else {
+    plan::OptimizeResult optimized;
+    const Status st = executor.OptimizeAt(task->spec, plan::ExecPolicy{},
+                                          session.epoch, &optimized);
+    if (!st.ok()) {
+      result.status = st;
+    } else {
+      result = executor.ExecutePlan(task->spec, optimized.best().plan, session);
+    }
+  }
+  result.query_id = session.query_id;
+  result.arrival_offset = task->opts.arrival_offset;
+  result.session_epoch = session.epoch;
+  result.queue_wait = task->queue_wait;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const sim::VTime freed_at = session.epoch + result.modeled_seconds;
+    clock_floor_ = sim::MaxT(clock_floor_, freed_at);
+    task->result = std::move(result);
+    task->done = true;
+    --active_;
+    reserved_blocks_ -= task->budget;
+    AdmitLocked(freed_at);
+  }
+  // After the notify the waiter may free the task; touch nothing of it here.
+  done_cv_.notify_all();
+}
+
+QueryResult QueryScheduler::Wait(QueryHandle handle) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tasks_.find(handle.id);
+  if (it == tasks_.end()) {
+    QueryResult missing;
+    missing.status = Status::InvalidArgument(
+        "unknown or already-waited query handle " + std::to_string(handle.id));
+    return missing;
+  }
+  Task* task = it->second.get();
+  if (task->claimed) {
+    QueryResult taken;
+    taken.status = Status::InvalidArgument(
+        "query handle " + std::to_string(handle.id) +
+        " is already being waited on by another caller");
+    return taken;
+  }
+  task->claimed = true;
+  done_cv_.wait(lock, [&] { return task->done; });
+  QueryResult result = std::move(task->result);
+  std::thread worker = std::move(task->worker);
+  tasks_.erase(it);
+  lock.unlock();
+  if (worker.joinable()) worker.join();
+  return result;
+}
+
+int QueryScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int QueryScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(waiting_.size());
+}
+
+}  // namespace hetex::core

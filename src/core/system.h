@@ -1,9 +1,11 @@
 #ifndef HETEX_CORE_SYSTEM_H_
 #define HETEX_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "core/ht_registry.h"
 #include "core/program_cache.h"
 #include "jit/device_provider.h"
 #include "memory/block_manager.h"
@@ -45,18 +47,33 @@ class System {
   storage::Catalog& catalog() { return catalog_; }
 
   /// Per-device cache of finalized pipeline programs. Lives on the system so
-  /// repeated query runs reuse finalized spans (see ProgramCache).
+  /// repeated query runs — and concurrent sessions — reuse finalized spans
+  /// (see ProgramCache).
   ProgramCache& program_cache() { return program_cache_; }
   jit::TierPolicy tier_policy() const { return tier_policy_; }
+
+  /// Join hash tables of every in-flight query, namespaced by query id
+  /// (see HtRegistry).
+  HtRegistry& hts() { return hts_; }
 
   /// Creates a provider for a compute device (see jit::DeviceProvider).
   std::unique_ptr<jit::DeviceProvider> MakeProvider(sim::DeviceId device);
 
-  /// Rewinds every virtual-time resource (PCIe links, GPU streams) to zero;
-  /// called at the start of each query so queries get independent timelines.
-  void ResetVirtualTime() {
-    topology_.ResetVirtualTime();
-    for (auto& gpu : gpus_) gpu->ResetVirtualTime();
+  /// Absolute virtual time by which every shared resource (PCIe links, GPU
+  /// kernel streams) is idle. A query session anchored at this horizon runs on
+  /// effectively fresh resources — the session-scoped replacement for the old
+  /// rewind-everything ResetVirtualTime(), safe while other queries are in
+  /// flight (their reservations simply stay behind the horizon).
+  sim::VTime VirtualHorizon() const {
+    sim::VTime h = topology_.LinkHorizon();
+    for (const auto& gpu : gpus_) h = sim::MaxT(h, gpu->stream_free_at());
+    return h;
+  }
+
+  /// Allocates a system-unique query id (session namespacing for hash tables
+  /// and diagnostics).
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Host memory nodes (all sockets), the default table placement.
@@ -72,7 +89,9 @@ class System {
   std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
   storage::Catalog catalog_;
   ProgramCache program_cache_;
+  HtRegistry hts_;
   jit::TierPolicy tier_policy_ = jit::TierPolicy::kAuto;
+  std::atomic<uint64_t> next_query_id_{1};
 };
 
 }  // namespace hetex::core

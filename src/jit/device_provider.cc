@@ -282,7 +282,7 @@ ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
 
   auto launch = gpu_->LaunchKernel(kernel, gpu_->default_grid(),
                                    sim::GpuDevice::kDefaultBlockDim, req.earliest,
-                                   stream_bw_);
+                                   stream_bw_, session_epoch());
   ExecResult result;
   result.status = std::move(first_error);
   result.stats = launch.stats;

@@ -105,8 +105,16 @@ class DeviceProvider {
   void set_tier_policy(TierPolicy policy) { tier_policy_ = policy; }
   TierPolicy tier_policy() const { return tier_policy_; }
 
+  /// Absolute virtual arrival time of the query session this provider executes
+  /// for. All ExecRequest/ExecResult times stay session-local; the epoch anchors
+  /// reservations on shared resources (the GPU kernel stream) so concurrent
+  /// sessions contend on one absolute timeline.
+  void set_session_epoch(sim::VTime epoch) { session_epoch_ = epoch; }
+  sim::VTime session_epoch() const { return session_epoch_; }
+
  private:
   TierPolicy tier_policy_ = TierPolicy::kAuto;
+  sim::VTime session_epoch_ = 0.0;
 };
 
 /// CPU provider: single-threaded worker pinned to one socket; streaming bandwidth

@@ -1,6 +1,8 @@
 #include "memory/block_manager.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -75,25 +77,65 @@ BlockRegistry::BlockRegistry(const sim::Topology& topo, const Options& options)
 }
 
 Block* BlockRegistry::Acquire(sim::MemNodeId target, sim::MemNodeId requester) {
-  if (target == requester) {
-    Block* block = manager(target).Acquire();
-    HETEX_CHECK(block != nullptr) << "block arena exhausted on node " << target;
-    return block;
+  // Concurrent queries share the arenas: transient exhaustion means another
+  // in-flight query holds staging blocks it will release as its pipelines
+  // drain. Wait for that backpressure to clear rather than aborting; only a
+  // genuinely wedged arena (budget misconfiguration) is fatal.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int attempts = 0;
+  while (true) {
+    if (target == requester) {
+      Block* block = manager(target).Acquire();
+      if (block != nullptr) return block;
+    } else {
+      RemoteCache& rc = cache(requester, target);
+      std::lock_guard<std::mutex> lock(rc.mu);
+      if (rc.acquired.empty()) {
+        // One "small task to the remote node" fetches a whole batch (§4.3).
+        rc.acquired.resize(options_.remote_batch);
+        const size_t got = manager(target).AcquireBatch(rc.acquired.data(),
+                                                        options_.remote_batch);
+        rc.acquired.resize(got);
+        if (got > 0) {
+          remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!rc.acquired.empty()) {
+        Block* block = rc.acquired.back();
+        rc.acquired.pop_back();
+        return block;
+      }
+    }
+    // Nothing free in the arena: sweep parked release batches back first;
+    // after ~5ms of sustained starvation also confiscate prefetch stashes
+    // (costing their owners a refill round-trip beats stalling everyone).
+    ReclaimNode(target, /*steal_prefetch=*/++attempts > 100);
+    HETEX_CHECK(std::chrono::steady_clock::now() < deadline)
+        << "staging-block arena exhausted on node " << target
+        << " and no in-flight query released memory for 30s — lower the "
+           "scheduler's admission cap or per-query memory budget";
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
-  RemoteCache& rc = cache(requester, target);
-  std::lock_guard<std::mutex> lock(rc.mu);
-  if (rc.acquired.empty()) {
-    // One "small task to the remote node" fetches a whole batch (§4.3).
-    rc.acquired.resize(options_.remote_batch);
-    const size_t got =
-        manager(target).AcquireBatch(rc.acquired.data(), options_.remote_batch);
-    rc.acquired.resize(got);
-    remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
-    HETEX_CHECK(got > 0) << "block arena exhausted on remote node " << target;
+}
+
+void BlockRegistry::ReclaimNode(sim::MemNodeId target, bool steal_prefetch) {
+  const size_t nodes = managers_.size();
+  for (size_t requester = 0; requester < nodes; ++requester) {
+    RemoteCache& rc = cache(static_cast<sim::MemNodeId>(requester), target);
+    std::vector<Block*> to_flush;
+    std::vector<Block*> to_return;
+    {
+      std::lock_guard<std::mutex> lock(rc.mu);
+      to_flush.swap(rc.released);
+      if (steal_prefetch) to_return.swap(rc.acquired);
+    }
+    if (!to_flush.empty() || !to_return.empty()) {
+      remote_roundtrips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (Block* b : to_flush) b->owner->Release(b);
+    for (Block* b : to_return) b->owner->Release(b);
   }
-  Block* block = rc.acquired.back();
-  rc.acquired.pop_back();
-  return block;
 }
 
 void BlockRegistry::Release(Block* block, sim::MemNodeId requester) {

@@ -88,6 +88,15 @@ class BlockRegistry {
   /// Flushes all buffered remote releases (e.g. at query end).
   void FlushReleases();
 
+  /// Returns blocks parked in the remote caches of one node to its arena.
+  /// Called by a starved Acquire: blocks another query batched but never
+  /// flushed (it is still running) are reclaimable without waiting for its
+  /// end-of-query flush. Buffered releases are always swept (pure reclaim);
+  /// `steal_prefetch` additionally confiscates unused prefetch stashes —
+  /// escalation for sustained starvation, since it forces their owners into
+  /// fresh batch round-trips.
+  void ReclaimNode(sim::MemNodeId target, bool steal_prefetch);
+
   /// Number of remote batch round-trips performed (for tests/ablation).
   uint64_t remote_roundtrips() const { return remote_roundtrips_; }
 

@@ -322,6 +322,7 @@ StageRole ClassifyStage(const HetPlan& plan, const StageEst& stage) {
 struct InstanceCost {
   sim::VTime block_time = 0;     ///< per-block completion (compute/transfer max)
   sim::VTime transfer_time = 0;  ///< per-block interconnect share (diagnostic)
+  int link = -1;                 ///< PCIe link the per-block DMA occupies
   uint64_t blocks = 0;           ///< assigned by the distribution model
 };
 
@@ -628,6 +629,9 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
             // reservation per column plus the bytes at the pinned rate.
             transfer = static_cast<double>(cols) * cm.dma_latency +
                        static_cast<double>(block_rows) * in_width / cm.pcie_bw;
+            if (dev.index < topo_->num_gpus()) {
+              ic.link = topo_->PcieLinkOf(dev.index);
+            }
           }
           ic.transfer_time = transfer;
           ic.block_time = sim::MaxT(compute, transfer);
@@ -646,6 +650,43 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     return stage.router >= 0 ? plan.node(stage.router).control_cost : 0.0;
   };
 
+  // --- Shared-link accounting. Every PCIe link is a serially-shared resource:
+  // DMA demand from concurrently-running stages (stage-A input DMA and
+  // stage-B wire DMA of a split plan land on the same link) serializes, so a
+  // phase can never finish before its links drained their total occupancy —
+  // plus whatever backlog other in-flight queries queued there (the
+  // scheduler's load signal).
+  const int n_links = topo_->num_pcie_links();
+  std::vector<double> build_link_busy(n_links, 0.0);
+  std::vector<double> fact_link_busy(n_links, 0.0);
+  auto link_backlog = [&](int l) {
+    return l < static_cast<int>(options_.link_backlog.size())
+               ? options_.link_backlog[l]
+               : 0.0;
+  };
+  auto add_link_busy = [](std::vector<double>* busy,
+                          const std::vector<InstanceCost>& insts) {
+    for (const auto& ic : insts) {
+      if (ic.link >= 0 && ic.link < static_cast<int>(busy->size())) {
+        (*busy)[ic.link] += static_cast<double>(ic.blocks) * ic.transfer_time;
+      }
+    }
+  };
+
+  // Mirrors the lowering's staging clamp: GPU-fed sources never exceed one
+  // staging/emit block, whatever granularity the plan stamped.
+  auto clamp_block_rows = [&](const StageEst& stage, uint64_t block_rows) {
+    for (const auto& b : stage.branches) {
+      for (const auto& dev : b.instances) {
+        if (dev.is_gpu()) {
+          return std::min(block_rows,
+                          std::max<uint64_t>(1, options_.pack_block_rows));
+        }
+      }
+    }
+    return block_rows;
+  };
+
   // ------------------------------------------------------------------ builds
   for (const StageEst& stage : shape.build_stages) {
     int join_id = -1;
@@ -656,8 +697,8 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     const uint64_t rows =
         j < cards_.build_input_rows.size() ? cards_.build_input_rows[j] : 1;
     const HetOpNode& seg = plan.node(stage.segmenter);
-    const uint64_t block_rows =
-        seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
+    const uint64_t block_rows = clamp_block_rows(
+        stage, seg.block_rows > 0 ? seg.block_rows : 128 * 1024);
     const uint64_t blocks = std::max<uint64_t>(1, CeilDiv(rows, block_rows));
 
     uint64_t n_cols = 1;
@@ -672,9 +713,17 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
                               (seg.per_block_cost + stage_control(stage));
     done = sim::MaxT(done, source);
     est.build = sim::MaxT(est.build, done);
+    add_link_busy(&build_link_busy, insts);
     for (const auto& ic : insts) {
       est.transfer = sim::MaxT(
           est.transfer, static_cast<double>(ic.blocks) * ic.transfer_time);
+    }
+  }
+  // Concurrent build networks share the links (and queue behind in-flight
+  // queries): the phase cannot beat any link's total occupancy.
+  for (int l = 0; l < n_links; ++l) {
+    if (build_link_busy[l] > 0) {
+      est.build = sim::MaxT(est.build, link_backlog(l) + build_link_busy[l]);
     }
   }
 
@@ -716,11 +765,12 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
       return Status::Internal("coster: build span on the fact chain");
     }
 
-    const uint64_t block_rows = stage.segmenter >= 0
-                                    ? (plan.node(stage.segmenter).block_rows > 0
-                                           ? plan.node(stage.segmenter).block_rows
-                                           : 128 * 1024)
-                                    : options_.pack_block_rows;
+    const uint64_t block_rows = clamp_block_rows(
+        stage, stage.segmenter >= 0
+                   ? (plan.node(stage.segmenter).block_rows > 0
+                          ? plan.node(stage.segmenter).block_rows
+                          : 128 * 1024)
+                   : options_.pack_block_rows);
     uint64_t blocks = CeilDiv(static_cast<uint64_t>(std::llround(rows_in)),
                               block_rows);
     if (stage.segmenter < 0) {
@@ -753,6 +803,7 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     done = sim::MaxT(done, static_cast<double>(blocks) *
                                (per_block_src + stage_control(stage)));
     stage_done.push_back(done);
+    add_link_busy(&fact_link_busy, insts);
     sim::VTime slowest_block = 0;
     for (const auto& ic : insts) {
       slowest_block = sim::MaxT(slowest_block, ic.block_time);
@@ -790,6 +841,15 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
   }
   for (size_t s = 0; s < stage_drain.size(); ++s) {
     if (s != bottleneck) fact_phase += stage_drain[s];
+  }
+  // Pipelined fact stages contend for the links concurrently: the phase is
+  // bounded below by each link's serialized DMA occupancy. Cross-query backlog
+  // drains while this query's builds run, so only the residual carries over.
+  for (int l = 0; l < n_links; ++l) {
+    if (fact_link_busy[l] > 0) {
+      const double residual = std::max(0.0, link_backlog(l) - est.build);
+      fact_phase = sim::MaxT(fact_phase, residual + fact_link_busy[l]);
+    }
   }
 
   est.probe = fact_phase + latency_constants;

@@ -60,9 +60,18 @@ struct CostEstimate {
 /// estimate, not a simulation: cardinalities come from CardinalityEstimate,
 /// not from execution.
 struct CosterOptions {
-  /// Rows per packed intermediate block (the runtime's block_bytes / 8);
-  /// sizes the block counts of non-segmenter-fed stages.
+  /// Rows per packed intermediate block — MUST be wired to the running
+  /// system's block_bytes / 8 (QueryExecutor does). Sizes the block counts of
+  /// non-segmenter-fed stages and mirrors the lowering's GPU staging clamp;
+  /// the default only matches a system built with default 1 MiB blocks.
   uint64_t pack_block_rows = (1ull << 20) / 8;
+
+  /// Per-PCIe-link backlog: virtual seconds of work other in-flight queries
+  /// already have queued on each link at this session's arrival (index =
+  /// Topology::PcieLinkOf). The scheduler's load signal — candidate plans that
+  /// lean on a congested link are charged the queueing delay. Empty = idle
+  /// server (the solo-optimization default).
+  std::vector<double> link_backlog;
 };
 
 class PlanCoster {

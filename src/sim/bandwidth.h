@@ -2,6 +2,7 @@
 #define HETEX_SIM_BANDWIDTH_H_
 
 #include <atomic>
+#include <map>
 #include <mutex>
 
 #include "sim/vtime.h"
@@ -15,6 +16,21 @@ namespace hetex::sim {
 /// virtual time t on a busy link starts when the link frees up. This is what makes
 /// GPU execution PCIe-bound in the Fig. 5 regime and what lets back-to-back
 /// transfers pipeline with compute.
+///
+/// The resource keeps one *absolute* timeline shared by every in-flight query;
+/// each query session reserves relative to its own `epoch` (the virtual time at
+/// which the session arrived). Reservation windows come back epoch-relative, so
+/// all engine-internal timestamps stay session-local while contention between
+/// concurrent sessions is charged on the shared absolute timeline. A session
+/// whose epoch is at or past `free_at()` sees an idle resource — the
+/// session-scoped replacement for the old rewind-to-zero reset.
+///
+/// Occupancy is a set of disjoint busy intervals and reservations are
+/// first-fit: a request slots into the earliest gap (at or after its ready
+/// time) that holds it. This keeps the model causally consistent under
+/// concurrency — the wall-clock order in which sessions happen to call
+/// Reserve cannot make an early-epoch request queue behind a reservation
+/// whose virtual time lies entirely in its future.
 class BandwidthServer {
  public:
   /// \param rate bytes per virtual second
@@ -27,45 +43,88 @@ class BandwidthServer {
     VTime end;
   };
 
-  /// Reserves the resource for `bytes` no earlier than `earliest`; returns the
+  /// Reserves the resource for `bytes` no earlier than session-local time
+  /// `earliest` of the session anchored at `epoch`; returns the session-local
   /// virtual-time window the work occupies.
-  Window Reserve(uint64_t bytes, VTime earliest) {
-    std::lock_guard<std::mutex> lock(mu_);
-    const VTime start = MaxT(earliest, free_at_);
-    const VTime end = start + latency_ + static_cast<double>(bytes) / rate_;
-    free_at_ = end;
-    return {start, end};
+  Window Reserve(uint64_t bytes, VTime earliest, VTime epoch = 0.0) {
+    return ReserveDuration(latency_ + static_cast<double>(bytes) / rate_,
+                           earliest, epoch);
   }
 
   /// Reserves a fixed-duration slot (e.g. a kernel whose cost was computed by the
-  /// cost model) no earlier than `earliest`.
-  Window ReserveDuration(VTime duration, VTime earliest) {
+  /// cost model) no earlier than session-local `earliest` of the session
+  /// anchored at `epoch`.
+  Window ReserveDuration(VTime duration, VTime earliest, VTime epoch = 0.0) {
     std::lock_guard<std::mutex> lock(mu_);
-    const VTime start = MaxT(earliest, free_at_);
+    // First fit: start at the request's ready time, pushed out of any busy
+    // interval it lands in, then past every interval whose gap is too small.
+    VTime start = epoch + earliest;
+    auto it = busy_.upper_bound(start);
+    if (it != busy_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > start) start = prev->second;
+    }
+    while (it != busy_.end() && it->first - start < duration) {
+      start = MaxT(start, it->second);
+      ++it;
+    }
     const VTime end = start + duration;
-    free_at_ = end;
-    return {start, end};
+    Insert(start, end);
+    if (end > free_at_) free_at_ = end;
+    return {start - epoch, end - epoch};
   }
 
+  /// Absolute virtual time at which the resource frees up for good (the
+  /// backlog horizon new sessions anchor their epochs past).
   VTime free_at() const {
     std::lock_guard<std::mutex> lock(mu_);
     return free_at_;
-  }
-
-  /// Rewinds the resource to virtual time zero (between queries: each query runs
-  /// on its own virtual timeline).
-  void ResetClock() {
-    std::lock_guard<std::mutex> lock(mu_);
-    free_at_ = 0.0;
   }
 
   double rate() const { return rate_; }
   void set_rate(double rate) { rate_ = rate; }
 
  private:
+  /// Inserts [start, end), coalescing with exactly-adjacent neighbours (the
+  /// common back-to-back case) and bounding the interval count so a long-lived
+  /// server cannot grow without bound (old gaps are absorbed conservatively).
+  void Insert(VTime start, VTime end) {
+    auto next = busy_.lower_bound(start);
+    if (next != busy_.begin()) {
+      const auto prev = std::prev(next);
+      if (prev->second >= start) {  // touching on the left: extend it
+        prev->second = end;
+        if (next != busy_.end() && next->first <= end) {
+          prev->second = MaxT(end, next->second);
+          busy_.erase(next);
+        }
+        return;
+      }
+    }
+    if (next != busy_.end() && next->first <= end) {  // touching on the right
+      const VTime nend = MaxT(end, next->second);
+      busy_.erase(next);
+      busy_[start] = nend;
+      return;
+    }
+    busy_[start] = end;
+    if (busy_.size() > kMaxIntervals) {
+      // Absorb the oldest gap: merging the two earliest intervals only makes
+      // the model more conservative (a gap nobody can backfill anymore).
+      auto first = busy_.begin();
+      auto second = std::next(first);
+      first->second = second->second;
+      busy_.erase(second);
+    }
+  }
+
+  static constexpr size_t kMaxIntervals = 1024;
+
   double rate_;
   const double latency_;
   mutable std::mutex mu_;
+  /// Disjoint busy intervals start -> end, plus the all-time horizon.
+  std::map<VTime, VTime> busy_;
   VTime free_at_ = 0.0;
 };
 

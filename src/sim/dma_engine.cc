@@ -25,7 +25,8 @@ DmaEngine::~DmaEngine() {
 }
 
 TransferTicket DmaEngine::Transfer(const void* src, void* dst, uint64_t bytes,
-                                   int link, VTime earliest, bool pageable) {
+                                   int link, VTime earliest, bool pageable,
+                                   VTime epoch) {
   HETEX_CHECK(link >= 0 && link < static_cast<int>(queues_.size()))
       << "bad PCIe link " << link;
   BandwidthServer& server = topo_->pcie_link(link);
@@ -35,7 +36,8 @@ TransferTicket DmaEngine::Transfer(const void* src, void* dst, uint64_t bytes,
       pageable ? topo_->cost_model().pcie_bw / topo_->cost_model().pcie_pageable_bw
                : 1.0;
   const auto window = server.Reserve(
-      static_cast<uint64_t>(static_cast<double>(bytes) * rate_ratio), earliest);
+      static_cast<uint64_t>(static_cast<double>(bytes) * rate_ratio), earliest,
+      epoch);
 
   auto done = std::make_shared<std::promise<void>>();
   std::shared_future<void> fut = done->get_future().share();
@@ -45,8 +47,8 @@ TransferTicket DmaEngine::Transfer(const void* src, void* dst, uint64_t bytes,
 }
 
 VTime DmaEngine::TransferSync(const void* src, void* dst, uint64_t bytes, int link,
-                              VTime earliest, bool pageable) {
-  TransferTicket t = Transfer(src, dst, bytes, link, earliest, pageable);
+                              VTime earliest, bool pageable, VTime epoch) {
+  TransferTicket t = Transfer(src, dst, bytes, link, earliest, pageable, epoch);
   t.Wait();
   return t.ready_at();
 }

@@ -53,13 +53,18 @@ class DmaEngine {
   DmaEngine& operator=(const DmaEngine&) = delete;
 
   /// Schedules an async copy of `bytes` from `src` to `dst` over `link`.
-  /// `earliest` is the virtual time at which the source data exists.
+  /// `earliest` is the session-local virtual time at which the source data
+  /// exists; `epoch` is the absolute arrival time of the owning query session.
+  /// The transfer queues on the shared link at `epoch + earliest` (contending
+  /// with every in-flight session) and the ticket's `ready_at` comes back
+  /// session-local.
   TransferTicket Transfer(const void* src, void* dst, uint64_t bytes, int link,
-                          VTime earliest, bool pageable = false);
+                          VTime earliest, bool pageable = false,
+                          VTime epoch = 0.0);
 
   /// Convenience: schedule and wait; returns modeled completion time.
   VTime TransferSync(const void* src, void* dst, uint64_t bytes, int link,
-                     VTime earliest, bool pageable = false);
+                     VTime earliest, bool pageable = false, VTime epoch = 0.0);
 
  private:
   struct Job {

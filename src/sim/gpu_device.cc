@@ -60,7 +60,7 @@ void GpuDevice::WorkerLoop(int worker) {
 
 GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_threads,
                                                 int block_dim, VTime earliest,
-                                                double stream_bw) {
+                                                double stream_bw, VTime epoch) {
   HETEX_CHECK(grid_threads > 0 && block_dim > 0);
   // Kernels on one GPU serialize, functionally and in virtual time.
   std::lock_guard<std::mutex> launch_lock(launch_mu_);
@@ -83,8 +83,8 @@ GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_thr
 
   const double bw = stream_bw > 0.0 ? stream_bw : cost_model_->gpu_mem_bw;
   const VTime work = cost_model_->WorkCost(result.stats, cost_model_->gpu, bw);
-  const auto window =
-      stream_.ReserveDuration(cost_model_->kernel_launch_latency + work, earliest);
+  const auto window = stream_.ReserveDuration(
+      cost_model_->kernel_launch_latency + work, earliest, epoch);
   result.start = window.start;
   result.end = window.end;
   return result;

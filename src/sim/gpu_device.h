@@ -55,12 +55,16 @@ class GpuDevice {
   /// Launches a kernel over `grid_threads` logical threads (blocks of `block_dim`)
   /// and functionally executes it to completion.
   ///
-  /// \param earliest virtual time at which the kernel's input exists
+  /// \param earliest session-local virtual time at which the kernel's input exists
   /// \param stream_bw effective memory bandwidth for this kernel (defaults to the
   ///        device's full bandwidth; callers lower it for UVA/zero-copy kernels
   ///        that stream over PCIe, or for register-pressure-limited occupancy)
+  /// \param epoch absolute arrival time of the launching query session; the
+  ///        kernel queues on the shared stream at `epoch + earliest` and the
+  ///        result windows come back session-local (epoch-relative)
   LaunchResult LaunchKernel(const KernelFn& fn, int grid_threads, int block_dim,
-                            VTime earliest, double stream_bw = 0.0);
+                            VTime earliest, double stream_bw = 0.0,
+                            VTime epoch = 0.0);
 
   int id() const { return info_.id; }
   MemNodeId mem_node() const { return info_.mem; }
@@ -71,11 +75,9 @@ class GpuDevice {
   int default_grid() const { return info_.sim_threads * 64; }
   static constexpr int kDefaultBlockDim = 32;
 
-  /// Virtual time at which this GPU's stream frees up.
+  /// Absolute virtual time at which this GPU's shared kernel stream frees up.
+  /// Sessions anchored at (or past) this horizon see an idle stream.
   VTime stream_free_at() const { return stream_.free_at(); }
-
-  /// Rewinds the kernel stream to virtual time zero (start of a query).
-  void ResetVirtualTime() { stream_.ResetClock(); }
 
  private:
   void WorkerLoop(int worker);

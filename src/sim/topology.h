@@ -124,11 +124,18 @@ class Topology {
 
   /// Virtual-time resources.
   BandwidthServer& pcie_link(int link) { return *pcie_links_.at(link); }
+  const BandwidthServer& pcie_link(int link) const { return *pcie_links_.at(link); }
+  int num_pcie_links() const { return static_cast<int>(pcie_links_.size()); }
   SharedBandwidth& socket_dram(int socket) { return *socket_dram_.at(socket); }
 
-  /// Rewinds all interconnect clocks to virtual time zero (start of a query).
-  void ResetVirtualTime() {
-    for (auto& link : pcie_links_) link->ResetClock();
+  /// Absolute virtual time by which every PCIe link is idle. Sessions anchored
+  /// at (or past) this horizon see fresh interconnects — the session-scoped
+  /// replacement for the old rewind-all-clocks reset, safe with other queries
+  /// still in flight.
+  VTime LinkHorizon() const {
+    VTime h = 0;
+    for (const auto& link : pcie_links_) h = MaxT(h, link->free_at());
+    return h;
   }
 
   /// Socket of a core index in [0, num_cores), interleaved across sockets as the

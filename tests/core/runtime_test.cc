@@ -279,19 +279,31 @@ TEST_F(RuntimeTest, BacklogUsesPriorUntilEmaWarm) {
   EXPECT_DOUBLE_EQ(inst.EstimatedBacklog(0.25), 1.2);
 }
 
-TEST_F(RuntimeTest, HtRegistryKeyedByJoinAndUnit) {
+TEST_F(RuntimeTest, HtRegistryKeyedByQueryJoinAndUnit) {
   HtRegistry hts;
   auto& mm = system_.memory().manager(0);
-  jit::JoinHashTable* a = hts.Create(0, sim::DeviceId::Cpu(0), &mm, 16, 0);
-  jit::JoinHashTable* b = hts.Create(0, sim::DeviceId::Gpu(0), &mm, 16, 0);
-  jit::JoinHashTable* c = hts.Create(1, sim::DeviceId::Cpu(0), &mm, 16, 0);
+  jit::JoinHashTable* a = hts.Create(7, 0, sim::DeviceId::Cpu(0), &mm, 16, 0);
+  jit::JoinHashTable* b = hts.Create(7, 0, sim::DeviceId::Gpu(0), &mm, 16, 0);
+  jit::JoinHashTable* c = hts.Create(7, 1, sim::DeviceId::Cpu(0), &mm, 16, 0);
+  // Same (join, unit) under a different query id: a disjoint namespace, not a
+  // duplicate-table crash — the concurrent-queries collision case.
+  jit::JoinHashTable* d = hts.Create(8, 0, sim::DeviceId::Cpu(0), &mm, 16, 0);
   EXPECT_NE(a, b);
   EXPECT_NE(a, c);
-  EXPECT_EQ(hts.Get(0, sim::DeviceId::Cpu(0)), a);
-  EXPECT_EQ(hts.Get(1, sim::DeviceId::Cpu(0)), c);
-  hts.NoteBuildDone(0.5);
-  hts.NoteBuildDone(0.3);
-  EXPECT_DOUBLE_EQ(hts.build_done(), 0.5);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(hts.Get(7, 0, sim::DeviceId::Cpu(0)), a);
+  EXPECT_EQ(hts.Get(7, 1, sim::DeviceId::Cpu(0)), c);
+  EXPECT_EQ(hts.Get(8, 0, sim::DeviceId::Cpu(0)), d);
+  hts.NoteBuildDone(7, 0.5);
+  hts.NoteBuildDone(7, 0.3);
+  hts.NoteBuildDone(8, 0.9);
+  EXPECT_DOUBLE_EQ(hts.build_done(7), 0.5);   // per-query watermark
+  EXPECT_DOUBLE_EQ(hts.build_done(8), 0.9);
+  EXPECT_EQ(hts.NumTables(7), 3);
+  hts.DropQuery(7);
+  EXPECT_EQ(hts.NumTables(7), 0);
+  EXPECT_DOUBLE_EQ(hts.build_done(7), 0.0);
+  EXPECT_EQ(hts.Get(8, 0, sim::DeviceId::Cpu(0)), d);  // other queries intact
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_util.h"
+
+namespace hetex::core {
+namespace {
+
+using plan::ExecPolicy;
+using test::TestEnv;
+
+/// Deterministic hybrid policy: round-robin routing so the same plan assigns
+/// the same blocks to the same instances run after run (latency comparisons
+/// must not hinge on the adaptive balancer's thread-timing luck).
+ExecPolicy PinnedHybrid() {
+  ExecPolicy policy = TestEnv::Tune(ExecPolicy::Hybrid(3));
+  policy.load_balance = false;
+  return policy;
+}
+
+/// The mixed SSB workload the parity suite runs: at least one query per
+/// flight, scalar and group-by aggregations, 1-3 joins.
+std::vector<std::pair<int, int>> ParityQueries() {
+  return {{1, 1}, {1, 2}, {2, 1}, {3, 1}, {4, 1}, {4, 2}};
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-vs-serial parity: N SSB queries in flight against one System
+// produce exactly the rows their serial runs produce.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ConcurrentVsSerialParityOnSsbMatrix) {
+  TestEnv env(30'000);
+  QueryExecutor executor(env.system.get());
+
+  // Serial baseline (cost-based optimizer, one query at a time).
+  std::vector<plan::QuerySpec> specs;
+  std::vector<std::vector<std::vector<int64_t>>> serial_rows;
+  for (const auto& [flight, idx] : ParityQueries()) {
+    specs.push_back(env.ssb->Query(flight, idx));
+    QueryResult serial = executor.Execute(specs.back());
+    ASSERT_TRUE(serial.status.ok()) << serial.status.ToString();
+    ASSERT_EQ(serial.rows, env.Reference(specs.back())) << specs.back().name;
+    serial_rows.push_back(std::move(serial.rows));
+  }
+
+  // The same queries, all in flight at once (admission cap 4 exercises the
+  // queue too). The optimizer runs per session, with the live backlog signal.
+  std::vector<QueryHandle> handles;
+  for (const auto& spec : specs) handles.push_back(executor.Submit(spec));
+  for (size_t i = 0; i < handles.size(); ++i) {
+    QueryResult concurrent = executor.Wait(handles[i]);
+    ASSERT_TRUE(concurrent.status.ok())
+        << specs[i].name << ": " << concurrent.status.ToString();
+    EXPECT_EQ(concurrent.rows, serial_rows[i]) << specs[i].name;
+    EXPECT_GT(concurrent.modeled_seconds, 0.0);
+    // The session's hash-table namespace is gone once the query finished.
+    EXPECT_EQ(env.system->hts().NumTables(concurrent.query_id), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-session program-cache sharing: concurrent sessions running the same
+// plan shape re-finalize nothing once one session compiled the spans.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ProgramCacheHitsAcrossSessions) {
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(2, 1);
+  const ExecPolicy policy = TestEnv::Tune(ExecPolicy::CpuOnly(3));
+
+  // Warm the cache with one solo run: every span program is now finalized.
+  QueryExecutor executor(env.system.get());
+  QueryResult warm = executor.Execute(spec, policy);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+
+  const auto before = env.system->program_cache().counters(sim::DeviceType::kCpu);
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 4; ++i) handles.push_back(executor.Submit(spec, policy));
+  for (auto& h : handles) {
+    QueryResult r = executor.Wait(h);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.rows, warm.rows);
+  }
+
+  const auto after = env.system->program_cache().counters(sim::DeviceType::kCpu);
+  // Every instance of every concurrent session hit the warm shared cache.
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+// ---------------------------------------------------------------------------
+// HtRegistry regression: two simultaneous queries joining the same dimension
+// table used to collide on the (join id, unit) key; query-scoped namespaces
+// keep their hash tables disjoint.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, SimultaneousQueriesJoiningSameDimensionTable) {
+  TestEnv env(20'000);
+  // Q1.1 and Q1.2 both broadcast-build a hash table over `date` with join id
+  // 0 on the same units; so do two copies of Q1.1.
+  const auto q11 = env.ssb->Query(1, 1);
+  const auto q12 = env.ssb->Query(1, 2);
+  const auto expected_q11 = env.Reference(q11);
+  const auto expected_q12 = env.Reference(q12);
+
+  QueryExecutor executor(env.system.get());
+  const ExecPolicy policy = PinnedHybrid();
+  for (int round = 0; round < 3; ++round) {
+    QueryHandle a = executor.Submit(q11, policy);
+    QueryHandle b = executor.Submit(q12, policy);
+    QueryHandle c = executor.Submit(q11, policy);
+    QueryResult ra = executor.Wait(a);
+    QueryResult rb = executor.Wait(b);
+    QueryResult rc = executor.Wait(c);
+    ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+    ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+    ASSERT_TRUE(rc.status.ok()) << rc.status.ToString();
+    EXPECT_EQ(ra.rows, expected_q11);
+    EXPECT_EQ(rb.rows, expected_q12);
+    EXPECT_EQ(rc.rows, expected_q11);
+    // All three namespaces dropped.
+    for (const auto& r : {ra, rb, rc}) {
+      EXPECT_EQ(env.system->hts().NumTables(r.query_id), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contention can only slow, never speed up: a query sharing the server with
+// three others never beats its solo latency.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ConcurrentLatencyNeverBeatsSolo) {
+  TestEnv env(30'000);
+  QueryExecutor executor(env.system.get());
+  const ExecPolicy policy = PinnedHybrid();
+
+  std::vector<plan::QuerySpec> specs;
+  std::vector<double> solo;
+  for (const auto& [flight, idx] : {std::pair{1, 1}, {2, 1}, {3, 1}, {4, 1}}) {
+    specs.push_back(env.ssb->Query(flight, idx));
+    QueryResult r = executor.Execute(specs.back(), policy);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    solo.push_back(r.modeled_seconds);
+  }
+
+  std::vector<QueryHandle> handles;
+  for (const auto& spec : specs) handles.push_back(executor.Submit(spec, policy));
+  for (size_t i = 0; i < handles.size(); ++i) {
+    QueryResult r = executor.Wait(handles[i]);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    // Small tolerance: per-run jitter from the order concurrent producers of
+    // ONE query reserve the shared links (present solo too); contention across
+    // queries can only push the latency up.
+    EXPECT_GE(r.modeled_seconds, solo[i] * 0.98)
+        << specs[i].name << " concurrent " << r.modeled_seconds << " vs solo "
+        << solo[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solo latency through the session machinery is the old reset-model latency:
+// back-to-back runs see fresh resources every time.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, SoloLatencyStableAcrossRepeatedRuns) {
+  TestEnv env(20'000);
+  QueryExecutor executor(env.system.get());
+  const auto spec = env.ssb->Query(2, 1);
+  const ExecPolicy policy = PinnedHybrid();
+
+  QueryResult first = executor.Execute(spec, policy);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  for (int i = 0; i < 3; ++i) {
+    QueryResult again = executor.Execute(spec, policy);
+    ASSERT_TRUE(again.status.ok());
+    // No residual backlog from earlier queries leaks into a fresh session.
+    EXPECT_NEAR(again.modeled_seconds, first.modeled_seconds,
+                0.02 * first.modeled_seconds);
+  }
+
+  // Serial submission through the scheduler (cap 1) matches the solo path.
+  QueryScheduler serial(env.system.get(), {.max_concurrent = 1});
+  SubmitOptions opts;
+  opts.policy = policy;
+  QueryHandle h = serial.Submit(spec, opts);
+  QueryResult scheduled = serial.Wait(h);
+  ASSERT_TRUE(scheduled.status.ok());
+  EXPECT_NEAR(scheduled.modeled_seconds, first.modeled_seconds,
+              0.02 * first.modeled_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: the concurrency cap and the per-query memory budget both
+// gate how many queries run at once.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, AdmissionCapBoundsInFlightQueries) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 2});
+  const auto spec = env.ssb->Query(1, 1);
+  const auto expected = env.Reference(spec);
+
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 6; ++i) handles.push_back(scheduler.Submit(spec, opts));
+  EXPECT_LE(scheduler.in_flight(), 2);
+  for (auto& h : handles) {
+    EXPECT_LE(scheduler.in_flight(), 2);
+    QueryResult r = scheduler.Wait(h);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.rows, expected);
+  }
+}
+
+TEST(SchedulerTest, MemoryBudgetSerializesOversizedQueries) {
+  TestEnv env(20'000);
+  QueryScheduler probe(env.system.get());
+  const uint64_t total = probe.total_budget_blocks();
+  ASSERT_GT(total, 0u);
+
+  // Every query demands the whole arena: the cap alone would admit 4, the
+  // memory budget admits one at a time.
+  QueryScheduler scheduler(env.system.get(),
+                           {.max_concurrent = 4, .memory_budget_blocks = total});
+  const auto spec = env.ssb->Query(1, 1);
+  const auto expected = env.Reference(spec);
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 3; ++i) handles.push_back(scheduler.Submit(spec, opts));
+  EXPECT_LE(scheduler.in_flight(), 1);
+  for (auto& h : handles) {
+    EXPECT_LE(scheduler.in_flight(), 1);
+    QueryResult r = scheduler.Wait(h);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.rows, expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session plumbing details.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ArrivalOffsetsDelaySessions) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 2});
+  const auto spec = env.ssb->Query(1, 1);
+
+  SubmitOptions now;
+  now.policy = PinnedHybrid();
+  SubmitOptions later = now;
+  later.arrival_offset = 0.5;  // arrives half a virtual second into the batch
+
+  QueryHandle a = scheduler.Submit(spec, now);
+  QueryHandle b = scheduler.Submit(spec, later);
+  QueryResult ra = scheduler.Wait(a);
+  QueryResult rb = scheduler.Wait(b);
+  ASSERT_TRUE(ra.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_DOUBLE_EQ(ra.arrival_offset, 0.0);
+  EXPECT_DOUBLE_EQ(rb.arrival_offset, 0.5);
+  // The late arrival finds idle resources (the early query is long done in
+  // virtual time): its own latency is unaffected by the offset.
+  EXPECT_NEAR(rb.modeled_seconds, ra.modeled_seconds,
+              0.05 * ra.modeled_seconds);
+}
+
+TEST(SchedulerTest, WaitOnUnknownHandleFails) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get());
+  QueryResult r = scheduler.Wait(QueryHandle{9999});
+  EXPECT_FALSE(r.status.ok());
+}
+
+TEST(SchedulerTest, DestructorDrainsUnwaitedQueries) {
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(1, 1);
+  {
+    QueryScheduler scheduler(env.system.get(), {.max_concurrent = 2});
+    SubmitOptions opts;
+    opts.policy = PinnedHybrid();
+    for (int i = 0; i < 4; ++i) scheduler.Submit(spec, opts);
+    // Never waited: the destructor must drain them without leaking state.
+  }
+  EXPECT_EQ(env.system->hts().TotalHtBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hetex::core

@@ -135,6 +135,35 @@ TEST_F(BlockRegistryTest, FlushReturnsEverything) {
   EXPECT_EQ(registry_.manager(gpu_node).in_use(), 0u);
 }
 
+TEST_F(BlockRegistryTest, StarvedAcquireReclaimsParkedCacheBlocks) {
+  const sim::MemNodeId gpu_node = topo_.gpu(0).mem;  // 16-block arena
+  const sim::MemNodeId host = topo_.socket(0).mem;
+  // Drain the whole GPU arena through the remote path: 16 acquired, and every
+  // refill leaves up to remote_batch-1 blocks parked in the prefetch stash.
+  std::vector<Block*> held;
+  for (int i = 0; i < 13; ++i) held.push_back(registry_.Acquire(gpu_node, host));
+  // 13 handed out, 3 parked in the host->gpu prefetch stash: the arena itself
+  // is empty. Release 2 remotely — sub-batch, so they park in rc.released too.
+  registry_.Release(held.back(), host);
+  held.pop_back();
+  registry_.Release(held.back(), host);
+  held.pop_back();
+  EXPECT_EQ(registry_.manager(gpu_node).free_blocks(), 0u);
+  // GPU-local acquires must reclaim the parked blocks instead of stalling
+  // until the 30s starvation abort: the first two sweep the release batch,
+  // the third escalates to confiscating the idle prefetch stash (~5ms).
+  std::vector<Block*> local;
+  for (int i = 0; i < 3; ++i) {
+    Block* b = registry_.Acquire(gpu_node, gpu_node);
+    ASSERT_NE(b, nullptr);
+    local.push_back(b);
+  }
+  for (Block* b : local) registry_.Release(b, gpu_node);
+  for (Block* b : held) registry_.Release(b, host);
+  registry_.FlushReleases();
+  EXPECT_EQ(registry_.manager(gpu_node).in_use(), 0u);
+}
+
 TEST_F(BlockRegistryTest, ConcurrentAcquireReleaseIsSafe) {
   const sim::MemNodeId host0 = topo_.socket(0).mem;
   std::vector<std::thread> threads;

@@ -127,6 +127,63 @@ TEST(PlanCosterTest, BreakdownShapesMatchPlanShapes) {
   EXPECT_GT(bare.value().total, 0.0);
 }
 
+TEST(PlanCosterTest, LinkBacklogRaisesGpuPlanEstimates) {
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(1, 1);
+  const plan::HetPlan gpu_plan = plan::BuildHetPlan(
+      spec, TestEnv::Tune(ExecPolicy::GpuOnly()), env.system->topology());
+  const plan::HetPlan cpu_plan = plan::BuildHetPlan(
+      spec, TestEnv::Tune(ExecPolicy::CpuOnly(3)), env.system->topology());
+
+  plan::PlanCoster::Options idle;
+  idle.pack_block_rows = env.system->blocks().options().block_bytes / 8;
+  plan::PlanCoster::Options loaded = idle;
+  // Other in-flight queries queued half a virtual second on every PCIe link.
+  loaded.link_backlog.assign(env.system->topology().num_pcie_links(), 0.5);
+
+  plan::PlanCoster idle_coster(spec, env.system->catalog(),
+                               env.system->topology(), idle);
+  plan::PlanCoster loaded_coster(spec, env.system->catalog(),
+                                 env.system->topology(), loaded);
+
+  // GPU plans DMA the fact table over the loaded links: the backlog shows up
+  // as queueing delay in the estimate.
+  const auto gpu_idle = idle_coster.Cost(gpu_plan);
+  const auto gpu_loaded = loaded_coster.Cost(gpu_plan);
+  ASSERT_TRUE(gpu_idle.ok() && gpu_loaded.ok());
+  EXPECT_GT(gpu_loaded.value().total, gpu_idle.value().total);
+  EXPECT_GE(gpu_loaded.value().total, gpu_idle.value().total + 0.4);
+
+  // CPU-only plans never touch the links: immune to the load signal — which
+  // is exactly what lets the optimizer steer new arrivals off congested links.
+  const auto cpu_idle = idle_coster.Cost(cpu_plan);
+  const auto cpu_loaded = loaded_coster.Cost(cpu_plan);
+  ASSERT_TRUE(cpu_idle.ok() && cpu_loaded.ok());
+  EXPECT_DOUBLE_EQ(cpu_loaded.value().total, cpu_idle.value().total);
+}
+
+TEST(PlanCosterTest, SharedLinkOccupancyBoundsPipelinedStages) {
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(1, 1);
+  // A split hybrid plan: stage-A input DMA (GPU branch of the filter stage)
+  // and stage-B wire DMA (GPU probe consumers) land on the same PCIe links.
+  ExecPolicy split = TestEnv::Tune(ExecPolicy::Hybrid(2));
+  split.split_probe_stage = true;
+  const plan::HetPlan plan =
+      plan::BuildHetPlan(spec, split, env.system->topology());
+
+  plan::PlanCoster::Options opts;
+  opts.pack_block_rows = env.system->blocks().options().block_bytes / 8;
+  plan::PlanCoster coster(spec, env.system->catalog(), env.system->topology(),
+                          opts);
+  const auto est = coster.Cost(plan);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  // The estimate must at least cover the serialized per-link DMA occupancy it
+  // itself derived (the transfer diagnostic is one instance's share).
+  EXPECT_GE(est.value().probe, est.value().transfer);
+  EXPECT_GT(est.value().total, 0.0);
+}
+
 TEST(PlanCosterTest, RejectsMalformedPlans) {
   TestEnv env(5'000);
   const auto spec = env.ssb->Query(1, 1);

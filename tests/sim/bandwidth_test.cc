@@ -43,14 +43,29 @@ TEST(BandwidthServer, ReserveDurationOccupiesWindow) {
   EXPECT_DOUBLE_EQ(w2.start, 0.25);  // queued behind w1 despite earliest=0.1
 }
 
-TEST(BandwidthServer, ResetClockRewindsToZero) {
+TEST(BandwidthServer, EpochPastBacklogSeesIdleResource) {
   BandwidthServer server(1e9);
   server.Reserve(1'000'000, 0.0);
-  EXPECT_GT(server.free_at(), 0.0);
-  server.ResetClock();
-  EXPECT_DOUBLE_EQ(server.free_at(), 0.0);
-  auto w = server.Reserve(1000, 0.0);
+  const VTime horizon = server.free_at();
+  EXPECT_GT(horizon, 0.0);
+  // A session anchored at the horizon starts on a fresh timeline: its windows
+  // come back epoch-relative, starting at zero (the reset-free reset).
+  auto w = server.Reserve(1000, 0.0, horizon);
   EXPECT_DOUBLE_EQ(w.start, 0.0);
+  EXPECT_NEAR(w.end, 1000 / 1e9, 1e-15);
+  EXPECT_DOUBLE_EQ(server.free_at(), horizon + 1000 / 1e9);
+}
+
+TEST(BandwidthServer, ConcurrentSessionsQueueAcrossEpochs) {
+  BandwidthServer server(1e9);
+  // Session A (epoch 0) occupies [0, 1ms) absolute.
+  auto a = server.Reserve(1'000'000, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  // Session B arrives at epoch 0.4ms: its transfer queues behind A's, and the
+  // queueing delay shows up in B's session-local window.
+  auto b = server.Reserve(1'000'000, 0.0, 0.4e-3);
+  EXPECT_DOUBLE_EQ(b.start, 0.6e-3);  // 1ms absolute - 0.4ms epoch
+  EXPECT_DOUBLE_EQ(b.end, 1.6e-3);
 }
 
 TEST(BandwidthServer, ConcurrentReservationsNeverOverlap) {

@@ -40,15 +40,33 @@ TEST_F(DmaTest, ModeledTimeMatchesLinkRate) {
 TEST_F(DmaTest, PageableHalvesThroughput) {
   std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
   TransferTicket pinned = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
-  topo_.ResetVirtualTime();
+  // Fresh session anchored past the pinned transfer: the link looks idle.
+  const VTime epoch = topo_.LinkHorizon();
   TransferTicket pageable =
-      dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, /*pageable=*/true);
+      dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0,
+                    /*pageable=*/true, epoch);
   const auto& cm = topo_.cost_model();
   EXPECT_GT(pageable.ready_at(), pinned.ready_at() * 1.5);
   EXPECT_NEAR(pageable.ready_at() - cm.dma_latency,
               (1 << 20) / cm.pcie_pageable_bw, 1e-9);
   pinned.Wait();
   pageable.Wait();
+}
+
+TEST_F(DmaTest, ConcurrentSessionsContendOnOneLink) {
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  // Session A (epoch 0) and session B (same epoch) share link 0: whichever
+  // reserves second queues behind the first, and both see session-local times.
+  TransferTicket a = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0,
+                                   false, 0.0);
+  TransferTicket b = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0,
+                                   false, 0.0);
+  const double one = topo_.cost_model().dma_latency +
+                     (1 << 20) / topo_.cost_model().pcie_bw;
+  EXPECT_NEAR(a.ready_at(), one, 1e-12);
+  EXPECT_NEAR(b.ready_at(), 2 * one, 1e-12);
+  a.Wait();
+  b.Wait();
 }
 
 TEST_F(DmaTest, TransfersOnOneLinkQueue) {
@@ -140,12 +158,22 @@ TEST_F(GpuDeviceTest, StreamBwOverrideForUva) {
               1e-5);
 }
 
-TEST_F(GpuDeviceTest, ResetVirtualTimeRewindsStream) {
+TEST_F(GpuDeviceTest, EpochPastStreamBacklogStartsFresh) {
   auto noop = [](const KernelCtx&) {};
   gpu_.LaunchKernel(noop, 64, 32, 0.0);
-  gpu_.ResetVirtualTime();
-  auto r = gpu_.LaunchKernel(noop, 64, 32, 0.0);
+  EXPECT_GT(gpu_.stream_free_at(), 0.0);
+  // New session anchored at the stream horizon: its kernel starts at local 0.
+  auto r = gpu_.LaunchKernel(noop, 64, 32, 0.0, 0.0, gpu_.stream_free_at());
   EXPECT_DOUBLE_EQ(r.start, 0.0);
+}
+
+TEST_F(GpuDeviceTest, ConcurrentSessionsSerializeOnStream) {
+  auto noop = [](const KernelCtx&) {};
+  // Session A fills the stream; session B (same epoch 0) queues behind it and
+  // sees the wait in its session-local window.
+  auto a = gpu_.LaunchKernel(noop, 64, 32, 0.0, 0.0, 0.0);
+  auto b = gpu_.LaunchKernel(noop, 64, 32, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, a.end);
 }
 
 TEST_F(GpuDeviceTest, DeviceAtomicsAcrossGrid) {

@@ -69,12 +69,15 @@ TEST(Topology, DedicatedPcieLinkPerGpu) {
   EXPECT_NE(topo.PcieLinkOf(0), topo.PcieLinkOf(1));
 }
 
-TEST(Topology, ResetVirtualTimeRewindsLinks) {
+TEST(Topology, LinkHorizonTracksBusiestLink) {
   Topology topo = Topology::PaperServer();
+  EXPECT_DOUBLE_EQ(topo.LinkHorizon(), 0.0);
   topo.pcie_link(0).Reserve(1 << 20, 0.0);
-  EXPECT_GT(topo.pcie_link(0).free_at(), 0.0);
-  topo.ResetVirtualTime();
-  EXPECT_DOUBLE_EQ(topo.pcie_link(0).free_at(), 0.0);
+  const auto w1 = topo.pcie_link(1).Reserve(4 << 20, 0.0);
+  EXPECT_DOUBLE_EQ(topo.LinkHorizon(), w1.end);
+  // A session anchored at the horizon sees every link idle.
+  const auto w = topo.pcie_link(0).Reserve(1 << 20, 0.0, topo.LinkHorizon());
+  EXPECT_DOUBLE_EQ(w.start, 0.0);
 }
 
 TEST(CostModel, AccessClassesFollowThresholds) {
