@@ -7,7 +7,12 @@
 //   bench_throughput_bench [--check] [--rows N] [--repeat K]
 //
 // --check exits nonzero unless (a) modeled queries/sec rises from concurrency
-// 1 to 4 and (b) every query's rows match the concurrency-1 run (parity gate).
+// 1 to 4, (b) every query's rows match the concurrency-1 run (parity gate),
+// and (c) p99 execution latency at concurrency 1 matches the solo Execute
+// path within tolerance — a scheduled-but-serial query must see the same
+// idle-server timeline a solo query does (catches epoch-anchoring
+// regressions: a session anchored short of the resource horizon would
+// inherit phantom queueing from finished queries).
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +37,7 @@ struct LevelStats {
   double qps_modeled = 0;         ///< queries / makespan (modeled)
   double p50_latency_s = 0;       ///< queue wait + execution, modeled
   double p99_latency_s = 0;
+  double p99_exec_s = 0;          ///< execution only (queue wait excluded)
   double mean_queue_wait_s = 0;
   double wall_s = 0;              ///< host wall clock of the functional run
 };
@@ -92,6 +98,21 @@ int main(int argc, char** argv) {
     for (const auto& [flight, idx] : kMix) workload.push_back(ssb.Query(flight, idx));
   }
 
+  // Solo baseline: every workload query through the plain Execute path (one
+  // at a time, idle arrivals). The scheduler at concurrency 1 must reproduce
+  // these execution latencies — it runs the same queries serially, each
+  // anchored at the resource horizon.
+  std::vector<double> solo_exec;
+  {
+    core::QueryExecutor executor(&system);
+    for (const auto& spec : workload) {
+      core::QueryResult r = executor.Execute(spec);
+      HETEX_CHECK(r.status.ok()) << spec.name << ": " << r.status.ToString();
+      solo_exec.push_back(r.modeled_seconds);
+    }
+  }
+  const double solo_p99 = Percentile(solo_exec, 0.99);
+
   std::vector<LevelStats> levels;
   std::vector<std::vector<std::vector<int64_t>>> baseline_rows;
   bool parity_ok = true;
@@ -107,6 +128,7 @@ int main(int argc, char** argv) {
     level.concurrency = concurrency;
     level.queries = static_cast<int>(workload.size());
     std::vector<double> latencies;
+    std::vector<double> exec_latencies;
     double base = 0, last_end = 0, wait_sum = 0;
     bool first = true;
     for (size_t i = 0; i < handles.size(); ++i) {
@@ -118,6 +140,7 @@ int main(int argc, char** argv) {
       first = false;
       last_end = std::max(last_end, r.session_epoch + r.modeled_seconds);
       latencies.push_back(r.queue_wait + r.modeled_seconds);
+      exec_latencies.push_back(r.modeled_seconds);
       wait_sum += r.queue_wait;
       if (concurrency == 1) {
         baseline_rows.push_back(std::move(r.rows));
@@ -137,19 +160,24 @@ int main(int argc, char** argv) {
             : 0;
     level.p50_latency_s = Percentile(latencies, 0.50);
     level.p99_latency_s = Percentile(latencies, 0.99);
+    level.p99_exec_s = Percentile(exec_latencies, 0.99);
     level.mean_queue_wait_s = wait_sum / static_cast<double>(latencies.size());
     levels.push_back(level);
   }
 
-  std::printf("{\n  \"lineorder_rows\": %" PRIu64 ",\n  \"levels\": [\n", rows);
+  std::printf("{\n  \"lineorder_rows\": %" PRIu64 ",\n  \"solo_p99_exec_s\": %.6f,"
+              "\n  \"levels\": [\n",
+              rows, solo_p99);
   for (size_t i = 0; i < levels.size(); ++i) {
     const LevelStats& l = levels[i];
     std::printf("    {\"concurrency\": %d, \"queries\": %d, "
                 "\"makespan_modeled_s\": %.6f, \"qps_modeled\": %.2f, "
                 "\"p50_latency_s\": %.6f, \"p99_latency_s\": %.6f, "
+                "\"p99_exec_s\": %.6f, "
                 "\"mean_queue_wait_s\": %.6f, \"wall_s\": %.3f}%s\n",
                 l.concurrency, l.queries, l.makespan_modeled_s, l.qps_modeled,
-                l.p50_latency_s, l.p99_latency_s, l.mean_queue_wait_s, l.wall_s,
+                l.p50_latency_s, l.p99_latency_s, l.p99_exec_s,
+                l.mean_queue_wait_s, l.wall_s,
                 i + 1 < levels.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
@@ -168,8 +196,25 @@ int main(int argc, char** argv) {
                    qps1, qps4);
       return 1;
     }
-    std::fprintf(stderr, "check ok: qps c1=%.2f c4=%.2f (%.2fx), parity ok\n",
-                 qps1, qps4, qps4 / qps1);
+    // Epoch-anchoring gate: at concurrency 1 the scheduler is the solo path
+    // plus admission — its p99 execution latency must match solo Execute.
+    // (The optimizer runs in both paths; at concurrency 1 each session sees
+    // zero link backlog, so it must pick the same plans.)
+    const double p99_c1 = levels[0].p99_exec_s;
+    const double tolerance = 0.05;
+    if (solo_p99 <= 0 ||
+        p99_c1 < solo_p99 * (1 - tolerance) ||
+        p99_c1 > solo_p99 * (1 + tolerance)) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: concurrency-1 p99 exec latency %.6fs drifts "
+                   "from solo Execute p99 %.6fs (epoch anchoring regression?)\n",
+                   p99_c1, solo_p99);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "check ok: qps c1=%.2f c4=%.2f (%.2fx), parity ok, "
+                 "c1 p99 exec %.6fs within %.0f%% of solo %.6fs\n",
+                 qps1, qps4, qps4 / qps1, p99_c1, tolerance * 100, solo_p99);
   }
   return 0;
 }

@@ -55,15 +55,16 @@ int main() {
   }
 
   // --- Socket bandwidth fluid share: per-worker rate vs number of active
-  // workers (the Fig. 6/7 scalability mechanism).
+  // workers (the Fig. 6/7 scalability mechanism). Workers register through
+  // the cross-session DRAM server, one registration per query session here.
   {
     std::printf("\nsocket0 DRAM fluid share (per-worker GB/s):\n");
-    sim::SharedBandwidth& dram = topo.socket_dram(0);
-    std::vector<sim::SharedBandwidth::Guard> guards;
+    sim::DramServer& dram = topo.socket_dram(0);
     for (int n = 1; n <= 16; n *= 2) {
-      while (static_cast<int>(guards.size()) < n) guards.emplace_back(&dram);
+      const uint64_t token = dram.Register(/*session=*/1, /*epoch=*/0.0, n);
       std::printf("  %2d active -> %.2f GB/s each (%.1f aggregate)\n", n,
                   dram.EffectiveRate() / 1e9, n * dram.EffectiveRate() / 1e9);
+      dram.Release(token);
     }
   }
   return 0;

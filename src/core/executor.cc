@@ -37,11 +37,19 @@ Status QueryExecutor::OptimizeAt(const plan::QuerySpec& spec,
   opts.pack_block_rows = system_->blocks().options().block_bytes / 8;
   // Load signal: work already queued on each PCIe link past this session's
   // arrival. In-flight queries' transfers serialize ahead of ours, so the
-  // coster charges them as a start offset on the link occupancy bound.
+  // coster charges them as a start offset on the link occupancy bound —
+  // for DMA mem-moves and UVA kernel streams alike.
   const sim::Topology& topo = system_->topology();
   opts.link_backlog.resize(topo.num_pcie_links());
   for (int l = 0; l < topo.num_pcie_links(); ++l) {
     opts.link_backlog[l] = std::max(0.0, topo.pcie_link(l).free_at() - epoch);
+  }
+  // CPU load signal: workers other in-flight sessions currently run on each
+  // socket. The runtime divides every socket's DRAM aggregate across all
+  // sessions, so candidates leaning on a crowded socket cost more.
+  opts.socket_backlog_workers.resize(topo.num_sockets());
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    opts.socket_backlog_workers[s] = topo.socket_dram(s).active_workers();
   }
   return plan::Optimize(spec, base, system_->catalog(), system_->topology(),
                         out, opts);

@@ -249,6 +249,21 @@ Status GraphBuilder::Analyze() {
     return Status::OK();
   };
 
+  // Hand-mutated plans can stamp placements the server does not have; surface
+  // them as a Status instead of letting provider construction abort.
+  const sim::Topology& topo = system_->topology();
+  auto check_instances = [&](const std::vector<sim::DeviceId>& instances) -> Status {
+    for (const auto& dev : instances) {
+      const int limit = dev.is_cpu() ? topo.num_sockets() : topo.num_gpus();
+      if (dev.index < 0 || dev.index >= limit) {
+        return Status::InvalidArgument(
+            "placement names device " + dev.ToString() + " but the server has " +
+            std::to_string(limit) + " " + (dev.is_cpu() ? "socket(s)" : "GPU(s)"));
+      }
+    }
+    return Status::OK();
+  };
+
   auto make_stage = [&](std::vector<std::vector<int>> branch_nodes, EdgeSpec in,
                         StageSpec* out) -> Status {
     for (size_t i = 0; i < branch_nodes.size(); ++i) {
@@ -256,6 +271,7 @@ Status GraphBuilder::Analyze() {
       if (span.instances.empty()) {
         return Status::Internal("pipeline span without a placement stamp");
       }
+      HETEX_RETURN_NOT_OK(check_instances(span.instances));
       if (i > 0 && (span.role != out->span.role ||
                     span.join_id != out->span.join_id ||
                     span.n_buckets != out->span.n_buckets)) {
@@ -348,6 +364,60 @@ Status GraphBuilder::Analyze() {
     }
     spec_.build_stages.push_back(std::move(stage));
   }
+
+  // Broadcast hash joins replicate one table per device unit: a mutated
+  // placement that leaves a probe unit without its replica — or builds two
+  // replicas on one unit — must surface as a Status here, not abort inside
+  // the HtRegistry at probe time.
+  std::unordered_map<int, std::unordered_set<int>> build_units;
+  for (const StageSpec& stage : spec_.build_stages) {
+    auto& units = build_units[stage.span.join_id];
+    for (const auto& dev : stage.instances) {
+      if (!units.insert(HtRegistry::UnitOf(dev)).second) {
+        return Status::InvalidArgument(
+            "join " + std::to_string(stage.span.join_id) +
+            " builds two hash-table replicas on unit " + dev.ToString());
+      }
+    }
+  }
+  for (const StageSpec& stage : spec_.fact_stages) {
+    std::unordered_set<int> joins;
+    for (const auto& branch : stage.branch_nodes) {
+      for (int id : branch) {
+        if (plan.node(id).kind == Kind::kJoinProbe) {
+          joins.insert(plan.node(id).join_id);
+        }
+      }
+    }
+    for (int j : joins) {
+      for (const auto& dev : stage.instances) {
+        if (build_units[j].count(HtRegistry::UnitOf(dev)) == 0) {
+          return Status::InvalidArgument(
+              "probe instance on " + dev.ToString() + " has no join-" +
+              std::to_string(j) +
+              " hash-table replica (build placement does not cover its unit)");
+        }
+      }
+    }
+  }
+
+  // A UVA edge skips the mem-move for every consumer of the exchange, so its
+  // blocks must stay host-addressable: GPU-placed producers would emit
+  // device-resident blocks no other unit can address in place. Reject the
+  // combination here (hand-mutated uva flags reach this path) instead of
+  // aborting inside the router.
+  for (size_t i = 0; i + 1 < spec_.fact_stages.size(); ++i) {
+    const StageSpec& stage = spec_.fact_stages[i];
+    if (!stage.in.uva || stage.in.producer_tops.empty()) continue;
+    const StageSpec& producer = spec_.fact_stages[i + 1];
+    for (const auto& dev : producer.instances) {
+      if (dev.is_gpu()) {
+        return Status::InvalidArgument(
+            "UVA exchange fed by GPU-placed producer " + dev.ToString() +
+            ": device-resident blocks cannot be addressed in place");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -360,6 +430,39 @@ struct RuntimeStage {
   std::unique_ptr<WorkerGroup> group;
   std::unique_ptr<Edge> edge;
   std::unique_ptr<SourceDriver> source;
+};
+
+/// Registers one execution phase's concurrently-active CPU workers (per
+/// socket) with the cross-session DRAM servers for the guard's lifetime, so
+/// every other in-flight session's fluid share divides by them — and this
+/// query's own shares divide by theirs (see sim::DramServer).
+class DramPhaseGuard {
+ public:
+  DramPhaseGuard(sim::Topology* topo, const QuerySession& session,
+                 const std::vector<StageSpec>& stages)
+      : topo_(topo) {
+    std::map<int, int> workers;
+    for (const StageSpec& stage : stages) {
+      for (const auto& dev : stage.instances) {
+        if (dev.is_cpu()) workers[dev.index] += 1;
+      }
+    }
+    for (const auto& [socket, n] : workers) {
+      tokens_.emplace_back(socket, topo_->socket_dram(socket).Register(
+                                       session.query_id, session.epoch, n));
+    }
+  }
+  ~DramPhaseGuard() {
+    for (const auto& [socket, token] : tokens_) {
+      topo_->socket_dram(socket).Release(token);
+    }
+  }
+  DramPhaseGuard(const DramPhaseGuard&) = delete;
+  DramPhaseGuard& operator=(const DramPhaseGuard&) = delete;
+
+ private:
+  sim::Topology* topo_;
+  std::vector<std::pair<int, uint64_t>> tokens_;
 };
 
 }  // namespace
@@ -408,7 +511,6 @@ Status GraphBuilder::CompileFactPipelines(
 
 Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   const plan::HetPlan& plan = *plan_;
-  const sim::CostModel& cm = system_->topology().cost_model();
   if (spec_.fact_stages.empty()) {
     return Status::Internal("lowered graph has no fact stages (Analyze not run?)");
   }
@@ -464,7 +566,6 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     cfg->programs = &system_->program_cache();
     cfg->block_bytes = block_bytes;
     cfg->allow_uva = stage.in.uva;
-    cfg->uva_bw = cm.pcie_bw;
     return cfg;
   };
 
@@ -517,6 +618,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
 
   // ------------------------------------------------------------------- builds
   {
+    DramPhaseGuard dram(&system_->topology(), session, spec_.build_stages);
     std::vector<RuntimeStage> builds;
     for (const StageSpec& stage : spec_.build_stages) {
       // Hand-mutated plans reach here through ExecutePlan: a stamped join id
@@ -534,7 +636,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       rt.cfg->pipeline = compiler->CompileSpan(stage.span, nullptr);
       rt.group = std::make_unique<WorkerGroup>(
           system_, stage.instances, FactoryFor(rt.cfg.get()), nullptr,
-          channel_capacity, init_clock, session.epoch);
+          channel_capacity, init_clock, session.epoch, session.query_id);
       rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                        rt.group->instance_ptrs());
       Status st = make_source(stage, *rt.cfg, rt.edge.get(), init_clock,
@@ -566,6 +668,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
 
   // Instantiation runs consumer→producer: each group needs its downstream edge,
   // each edge needs its consumer group's instances.
+  DramPhaseGuard dram(&system_->topology(), session, spec_.fact_stages);
   std::vector<RuntimeStage> stages;
   Edge* downstream = nullptr;
   for (size_t i = 0; i < spec_.fact_stages.size(); ++i) {
@@ -580,7 +683,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     }
     rt.group = std::make_unique<WorkerGroup>(
         system_, stage.instances, FactoryFor(rt.cfg.get()), downstream,
-        channel_capacity, probe_start, session.epoch);
+        channel_capacity, probe_start, session.epoch, session.query_id);
     rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                      rt.group->instance_ptrs());
     downstream = rt.edge.get();

@@ -114,7 +114,10 @@ void VmProcessor::Init(WorkerInstance& inst) {
   }
 
   if (cfg_->allow_uva && is_gpu(inst)) {
-    static_cast<jit::GpuProvider&>(inst.provider()).set_stream_bw(cfg_->uva_bw);
+    // Bare-GPU (UVA) kernels stream their bytes over the PCIe link as real,
+    // epoch-anchored occupancy (see GpuProvider::set_uva) instead of a
+    // private stream-bandwidth discount.
+    static_cast<jit::GpuProvider&>(inst.provider()).set_uva(true);
   }
 }
 
@@ -351,8 +354,14 @@ void VmProcessor::Finish(WorkerInstance& inst) {
         std::sort(rows.begin(), rows.end());
         for (auto& row : rows) cfg_->result->AddRow(std::move(row), inst.clock());
       } else if (program_->n_local_accs > 0) {
+        // GPU-placed gathers accumulate into device-resident shared state
+        // (same split as the kProbe partials path above).
         std::vector<int64_t> row;
-        for (int i = 0; i < program_->n_local_accs; ++i) row.push_back(instance_accs_[i]);
+        for (int i = 0; i < program_->n_local_accs; ++i) {
+          row.push_back(shared_accs_ != nullptr
+                            ? shared_accs_[i].load(std::memory_order_relaxed)
+                            : instance_accs_[i]);
+        }
         cfg_->result->AddRow(std::move(row), inst.clock());
       }
       break;

@@ -48,9 +48,9 @@ struct StageConfig {
   uint64_t block_bytes = 1ull << 20;
   int n_buckets = 1;            ///< hash-pack buckets (>1 only for kFilterStage)
 
-  // Bare-GPU (UVA) mode: kernels may read host-resident blocks over PCIe.
+  // Bare-GPU (UVA) mode: kernels may read host-resident blocks over PCIe;
+  // their streamed bytes reserve occupancy on the GPU's link BandwidthServer.
   bool allow_uva = false;
-  double uva_bw = 0.0;
 };
 
 /// Creates the block processor for one instance of a stage.

@@ -7,13 +7,15 @@
 namespace hetex::core {
 
 WorkerInstance::WorkerInstance(int id, sim::DeviceId device, System* system,
-                               size_t channel_capacity, sim::VTime epoch)
+                               size_t channel_capacity, sim::VTime epoch,
+                               uint64_t query_id)
     : id_(id),
       device_(device),
       system_(system),
       provider_(system->MakeProvider(device)),
       channel_(channel_capacity) {
   provider_->set_session_epoch(epoch);
+  provider_->set_session_id(query_id);
 }
 
 Edge::Edge(System* system, Options options, std::vector<WorkerInstance*> consumers)
@@ -223,7 +225,7 @@ void Edge::Push(DataMsg msg, sim::MemNodeId producer_node) {
 WorkerGroup::WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
                          ProcessorFactory factory, Edge* out,
                          size_t channel_capacity, sim::VTime initial_clock,
-                         sim::VTime epoch)
+                         sim::VTime epoch, uint64_t query_id)
     : system_(system),
       factory_(std::move(factory)),
       out_(out),
@@ -231,7 +233,7 @@ WorkerGroup::WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
   int id = 0;
   for (const auto& dev : devices) {
     instances_.push_back(std::make_unique<WorkerInstance>(
-        id++, dev, system, channel_capacity, epoch));
+        id++, dev, system, channel_capacity, epoch, query_id));
   }
 }
 

@@ -53,9 +53,12 @@ class WorkerInstance {
  public:
   /// `epoch` is the absolute virtual arrival time of the owning query session:
   /// the instance's clock stays session-local, and the epoch anchors the
-  /// provider's reservations on shared resources (GPU streams).
+  /// provider's reservations on shared resources (GPU streams). `query_id`
+  /// identifies the session in the cross-session resource registries (DRAM
+  /// fluid shares exclude the query's own registration from the divisor).
   WorkerInstance(int id, sim::DeviceId device, System* system,
-                 size_t channel_capacity, sim::VTime epoch = 0.0);
+                 size_t channel_capacity, sim::VTime epoch = 0.0,
+                 uint64_t query_id = 0);
 
   int id() const { return id_; }
   sim::DeviceId device() const { return device_; }
@@ -197,7 +200,8 @@ class WorkerGroup {
  public:
   WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
               ProcessorFactory factory, Edge* out, size_t channel_capacity,
-              sim::VTime initial_clock, sim::VTime epoch = 0.0);
+              sim::VTime initial_clock, sim::VTime epoch = 0.0,
+              uint64_t query_id = 0);
 
   void Start();
   void Join();

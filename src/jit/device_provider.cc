@@ -216,9 +216,21 @@ ExecResult CpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
   result.status = Run(program, ctx, req.rows);
 
   const sim::CostModel& cm = topo_->cost_model();
-  // Fluid share of the socket's DRAM bandwidth across this query's workers.
-  const double bw = std::min(cm.cpu_core_bw,
-                             cm.cpu_socket_bw / socket_concurrency_);
+  // Fluid share of the socket's DRAM bandwidth: this query's own workers on
+  // the socket (the deterministic per-group count) plus every other in-flight
+  // session's registered workers — concurrent queries split the aggregate
+  // like they split the PCIe links. Solo, the divisor is exactly the old
+  // within-query socket concurrency. Registrations only change at query
+  // phase boundaries, so the cross-session count is cached per generation;
+  // the per-block cost stays one relaxed atomic load.
+  const sim::DramServer& dram = topo_->socket_dram(socket_);
+  const uint64_t gen = dram.generation();
+  if (gen != dram_generation_) {
+    dram_other_workers_ = dram.workers_besides(session_id());
+    dram_generation_ = gen;
+  }
+  const int divisor = socket_concurrency_ + dram_other_workers_;
+  const double bw = std::min(cm.cpu_core_bw, cm.cpu_socket_bw / divisor);
   result.end = req.earliest + cm.WorkCost(result.stats, cm.cpu, bw);
   return result;
 }
@@ -280,9 +292,16 @@ ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
     }
   };
 
+  sim::GpuDevice::LaunchOptions opts;
+  opts.earliest = req.earliest;
+  opts.epoch = session_epoch();
+  if (uva_) {
+    // Zero-copy reads stream over this GPU's PCIe link: charge the bytes as
+    // real link occupancy so concurrent sessions contend with them.
+    opts.uva_link = &topo_->pcie_link(topo_->PcieLinkOf(gpu_->id()));
+  }
   auto launch = gpu_->LaunchKernel(kernel, gpu_->default_grid(),
-                                   sim::GpuDevice::kDefaultBlockDim, req.earliest,
-                                   stream_bw_, session_epoch());
+                                   sim::GpuDevice::kDefaultBlockDim, opts);
   ExecResult result;
   result.status = std::move(first_error);
   result.stats = launch.stats;

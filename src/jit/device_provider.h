@@ -112,9 +112,17 @@ class DeviceProvider {
   void set_session_epoch(sim::VTime epoch) { session_epoch_ = epoch; }
   sim::VTime session_epoch() const { return session_epoch_; }
 
+  /// Query id of the owning session. Identifies this provider's query in the
+  /// cross-session resource registries (a CPU worker's DRAM fluid share
+  /// divides by its own group's worker count plus every *other* session's
+  /// registered workers on the socket — never double-counting itself).
+  void set_session_id(uint64_t id) { session_id_ = id; }
+  uint64_t session_id() const { return session_id_; }
+
  private:
   TierPolicy tier_policy_ = TierPolicy::kAuto;
   sim::VTime session_epoch_ = 0.0;
+  uint64_t session_id_ = 0;
 };
 
 /// CPU provider: single-threaded worker pinned to one socket; streaming bandwidth
@@ -156,6 +164,10 @@ class CpuProvider : public DeviceProvider {
   memory::MemoryRegistry* mem_;
   memory::BlockRegistry* blocks_;
   sim::MemNodeId node_;
+  /// Cross-session DRAM divisor cache, refreshed when the socket server's
+  /// registration generation moves (only this worker's thread touches it).
+  uint64_t dram_generation_ = ~0ull;
+  int dram_other_workers_ = 0;
 };
 
 /// GPU provider: pipelines execute as kernels over a logical thread grid with
@@ -184,11 +196,14 @@ class GpuProvider : public DeviceProvider {
 
   sim::GpuDevice* gpu() const { return gpu_; }
 
-  /// Effective streaming bandwidth for kernels launched by this provider.
-  /// Lowered for UVA/zero-copy execution (reads cross PCIe) or register-pressure
-  /// limited occupancy (the DBMS G emulation).
-  void set_stream_bw(double bw) { stream_bw_ = bw; }
-  double stream_bw() const { return stream_bw_; }
+  /// UVA/zero-copy mode: kernels read host-resident blocks in place over the
+  /// GPU's PCIe link, and their streamed bytes reserve real occupancy on that
+  /// link's BandwidthServer (epoch-anchored, first-fit, exactly like DMA) —
+  /// concurrent sessions' transfers queue behind the kernel and vice versa.
+  /// (Replaces the old stream-bandwidth discount: GpuDevice::LaunchOptions
+  /// still takes a raw stream_bw for occupancy-limited kernel emulations.)
+  void set_uva(bool uva) { uva_ = uva; }
+  bool uva() const { return uva_; }
 
  private:
   sim::GpuDevice* gpu_;
@@ -196,7 +211,7 @@ class GpuProvider : public DeviceProvider {
   memory::MemoryRegistry* mem_;
   memory::BlockRegistry* blocks_;
   sim::MemNodeId node_;
-  double stream_bw_ = 0.0;  ///< 0 = full device bandwidth
+  bool uva_ = false;
 };
 
 }  // namespace hetex::jit

@@ -598,11 +598,18 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
   };
 
   // --- Instance pricing under the fluid bandwidth-share model.
+  auto socket_backlog = [&](int s) {
+    return s < static_cast<int>(options_.socket_backlog_workers.size())
+               ? std::max(0, options_.socket_backlog_workers[s])
+               : 0;
+  };
   auto stage_instances = [&](const StageEst& stage, const Profile& profile,
                              uint64_t block_rows, double in_width,
                              uint64_t cols) {
     std::vector<InstanceCost> out;
-    // CPU workers share their socket's DRAM bandwidth.
+    // CPU workers share their socket's DRAM bandwidth — with this candidate's
+    // own workers and with every other in-flight session's (the runtime's
+    // cross-session fluid-share divisor).
     std::map<int, int> socket_workers;
     for (const auto& b : stage.branches) {
       for (const auto& dev : b.instances) {
@@ -616,15 +623,30 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
       for (const auto& dev : b.instances) {
         InstanceCost ic;
         if (dev.is_cpu()) {
-          const double bw = std::min(
-              cm.cpu_core_bw, cm.cpu_socket_bw / socket_workers[dev.index]);
+          const int divisor =
+              socket_workers[dev.index] + socket_backlog(dev.index);
+          const double bw =
+              std::min(cm.cpu_core_bw, cm.cpu_socket_bw / divisor);
           ic.block_time = cm.WorkCost(block_stats, cm.cpu, bw);
+        } else if (b.uva) {
+          // UVA kernel: its streamed bytes occupy the PCIe link exactly like
+          // DMA (the runtime reserves them on the link BandwidthServer), so
+          // the link share of the block time is real, steerable occupancy.
+          const sim::VTime transfer =
+              cm.BandwidthBytes(block_stats, cm.gpu) / cm.pcie_bw;
+          const sim::VTime compute = cm.ComputeTime(block_stats, cm.gpu);
+          ic.transfer_time = transfer;
+          if (dev.index < topo_->num_gpus()) {
+            ic.link = topo_->PcieLinkOf(dev.index);
+          }
+          ic.block_time =
+              cm.kernel_launch_latency + sim::MaxT(compute, transfer);
         } else {
-          const double bw = b.uva ? cm.pcie_bw : cm.gpu_mem_bw;
-          const sim::VTime compute = cm.kernel_launch_latency +
-                                     cm.WorkCost(block_stats, cm.gpu, bw);
+          const sim::VTime compute =
+              cm.kernel_launch_latency +
+              cm.WorkCost(block_stats, cm.gpu, cm.gpu_mem_bw);
           sim::VTime transfer = 0;
-          if (b.gpu_entry && !b.uva) {
+          if (b.gpu_entry) {
             // Mem-move stages the block over the GPU's PCIe link: one DMA
             // reservation per column plus the bytes at the pinned rate.
             transfer = static_cast<double>(cols) * cm.dma_latency +

@@ -69,9 +69,17 @@ struct CosterOptions {
   /// Per-PCIe-link backlog: virtual seconds of work other in-flight queries
   /// already have queued on each link at this session's arrival (index =
   /// Topology::PcieLinkOf). The scheduler's load signal — candidate plans that
-  /// lean on a congested link are charged the queueing delay. Empty = idle
-  /// server (the solo-optimization default).
+  /// lean on a congested link are charged the queueing delay (DMA mem-moves
+  /// and UVA kernel streams alike). Empty = idle server (the
+  /// solo-optimization default).
   std::vector<double> link_backlog;
+
+  /// Per-socket CPU contention: concurrently-active CPU workers other
+  /// in-flight sessions run on each socket (index = socket id). The runtime
+  /// divides a socket's DRAM aggregate across *all* sessions' workers, so the
+  /// coster adds these to the candidate's own per-socket counts when pricing
+  /// CPU fluid shares. Empty = idle server.
+  std::vector<int> socket_backlog_workers;
 };
 
 class PlanCoster {

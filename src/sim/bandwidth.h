@@ -51,27 +51,32 @@ class BandwidthServer {
                            earliest, epoch);
   }
 
+  /// Reserves occupancy for `bytes` without the fixed setup term. UVA/zero-copy
+  /// kernel streams pay pure bandwidth — demand-paged reads have no per-transfer
+  /// DMA setup — yet still occupy the link other sessions queue behind.
+  Window ReserveBytes(uint64_t bytes, VTime earliest, VTime epoch = 0.0) {
+    return ReserveDuration(static_cast<double>(bytes) / rate_, earliest, epoch);
+  }
+
   /// Reserves a fixed-duration slot (e.g. a kernel whose cost was computed by the
   /// cost model) no earlier than session-local `earliest` of the session
   /// anchored at `epoch`.
   Window ReserveDuration(VTime duration, VTime earliest, VTime epoch = 0.0) {
     std::lock_guard<std::mutex> lock(mu_);
-    // First fit: start at the request's ready time, pushed out of any busy
-    // interval it lands in, then past every interval whose gap is too small.
-    VTime start = epoch + earliest;
-    auto it = busy_.upper_bound(start);
-    if (it != busy_.begin()) {
-      const auto prev = std::prev(it);
-      if (prev->second > start) start = prev->second;
-    }
-    while (it != busy_.end() && it->first - start < duration) {
-      start = MaxT(start, it->second);
-      ++it;
-    }
+    const VTime start = FirstFit(duration, epoch + earliest);
     const VTime end = start + duration;
     Insert(start, end);
     if (end > free_at_) free_at_ = end;
     return {start - epoch, end - epoch};
+  }
+
+  /// Session-local start of the first gap (at or after `earliest`) that holds
+  /// `duration`, without reserving anything. Lets a caller anchor a dependent
+  /// reservation on another resource where this slot would actually run (the
+  /// UVA kernel's link bytes anchor where the kernel's stream slot lands).
+  VTime ProbeStart(VTime duration, VTime earliest, VTime epoch = 0.0) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return FirstFit(duration, epoch + earliest) - epoch;
   }
 
   /// Absolute virtual time at which the resource frees up for good (the
@@ -85,6 +90,23 @@ class BandwidthServer {
   void set_rate(double rate) { rate_ = rate; }
 
  private:
+  /// First fit (caller holds mu_): start at the request's absolute ready
+  /// time, pushed out of any busy interval it lands in, then past every
+  /// interval whose gap is too small.
+  VTime FirstFit(VTime duration, VTime ready) const {
+    VTime start = ready;
+    auto it = busy_.upper_bound(start);
+    if (it != busy_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > start) start = prev->second;
+    }
+    while (it != busy_.end() && it->first - start < duration) {
+      start = MaxT(start, it->second);
+      ++it;
+    }
+    return start;
+  }
+
   /// Inserts [start, end), coalescing with exactly-adjacent neighbours (the
   /// common back-to-back case) and bounding the interval count so a long-lived
   /// server cannot grow without bound (old gaps are absorbed conservatively).
@@ -128,51 +150,117 @@ class BandwidthServer {
   VTime free_at_ = 0.0;
 };
 
-/// \brief Fluid-share model of an aggregate-bandwidth resource (a socket's DRAM).
+/// \brief Cross-session fluid-share server for one socket's DRAM.
 ///
-/// N concurrently active workers each see min(per-worker cap, total / N). This is
-/// the mechanism behind the Fig. 6/7 scalability curves: per-core bandwidth adds up
-/// linearly until the socket saturates, after which extra cores do not help.
-class SharedBandwidth {
+/// The socket aggregate is the mechanism behind the Fig. 6/7 scalability
+/// curves: per-core bandwidth adds up linearly until the socket saturates,
+/// after which extra cores do not help. Every in-flight query session
+/// registers the CPU workers it concurrently runs on this socket (per
+/// execution phase), together with its session epoch; one worker's streaming
+/// share is then min(per-worker cap, aggregate / total workers across all
+/// registered sessions) — the same fluid model that used to divide within a
+/// single query, extended across everything in flight. A solo session sees
+/// exactly the old per-query divisor, so uncontended latencies are unchanged.
+///
+/// Registration is wall-clock scoped: sessions registered at the same instant
+/// are the sessions overlapping in virtual time, because the scheduler anchors
+/// every session's epoch inside the current busy period (an idle arrival
+/// anchors past the resource horizon and, by then, every earlier registration
+/// has been released). Epochs are recorded for diagnostics and tests.
+class DramServer {
  public:
-  SharedBandwidth(double total_rate, double per_worker_rate)
+  DramServer(double total_rate, double per_worker_rate)
       : total_rate_(total_rate), per_worker_rate_(per_worker_rate) {}
 
-  /// RAII registration of an active worker.
-  class Guard {
-   public:
-    explicit Guard(SharedBandwidth* shared) : shared_(shared) {
-      shared_->active_.fetch_add(1, std::memory_order_relaxed);
+  /// Registers `workers` concurrently-active workers of the query session
+  /// `session` (anchored at absolute `epoch`). Returns a token for Release;
+  /// one session may hold several registrations (e.g. build phase and fact
+  /// phase of one query overlap with different worker counts).
+  uint64_t Register(uint64_t session, VTime epoch, int workers) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t token = next_token_++;
+    entries_[token] = Entry{session, epoch, workers < 0 ? 0 : workers};
+    generation_.fetch_add(1, std::memory_order_release);
+    return token;
+  }
+
+  void Release(uint64_t token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(token);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Bumped on every Register/Release. Registrations change only at query
+  /// phase boundaries, so per-block hot paths cache their divisor and re-read
+  /// it only when the generation moved (one relaxed load per block instead of
+  /// a mutex + map walk).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Workers registered by sessions other than `session` — the cross-query
+  /// part of a worker's fluid-share divisor (its own query's divisor is the
+  /// deterministic per-group worker count, not a registration lookup).
+  int workers_besides(uint64_t session) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const auto& [token, e] : entries_) {
+      if (e.session != session) n += e.workers;
     }
-    ~Guard() {
-      if (shared_ != nullptr) shared_->active_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-    Guard(Guard&& o) noexcept : shared_(o.shared_) { o.shared_ = nullptr; }
+    return n;
+  }
 
-   private:
-    SharedBandwidth* shared_;
-  };
-
-  Guard Enter() { return Guard(this); }
-
-  /// Bandwidth currently available to one active worker.
+  /// Fluid share one worker sees right now: min(per-worker cap, aggregate /
+  /// total registered workers). Idle server = full per-worker rate.
   double EffectiveRate() const {
-    const int n = active_.load(std::memory_order_relaxed);
+    const int n = active_workers();
     if (n <= 0) return per_worker_rate_;
     const double share = total_rate_ / static_cast<double>(n);
     return share < per_worker_rate_ ? share : per_worker_rate_;
   }
 
-  int active_workers() const { return active_.load(std::memory_order_relaxed); }
+  int active_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const auto& [token, e] : entries_) n += e.workers;
+    return n;
+  }
+
+  int active_sessions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<uint64_t, int> distinct;
+    for (const auto& [token, e] : entries_) distinct[e.session] = 1;
+    return static_cast<int>(distinct.size());
+  }
+
+  /// Earliest epoch among registered sessions (diagnostics).
+  VTime min_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    VTime m = 0;
+    bool any = false;
+    for (const auto& [token, e] : entries_) {
+      if (!any || e.epoch < m) m = e.epoch;
+      any = true;
+    }
+    return m;
+  }
+
   double total_rate() const { return total_rate_; }
   double per_worker_rate() const { return per_worker_rate_; }
 
  private:
+  struct Entry {
+    uint64_t session = 0;
+    VTime epoch = 0;
+    int workers = 0;
+  };
+
   const double total_rate_;
   const double per_worker_rate_;
-  std::atomic<int> active_{0};
+  std::atomic<uint64_t> generation_{0};
+  mutable std::mutex mu_;
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, Entry> entries_;
 };
 
 }  // namespace hetex::sim

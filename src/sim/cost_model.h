@@ -116,6 +116,25 @@ class CostModel {
     return 2;
   }
 
+  /// Bytes a block of work streams through the memory system — the quantity a
+  /// bandwidth share divides, and the occupancy a UVA/zero-copy kernel reserves
+  /// on its PCIe link (every random far access drags a full line across).
+  double BandwidthBytes(const CostStats& s, const DeviceCaps& caps) const {
+    return static_cast<double>(s.TotalBytes()) +
+           static_cast<double>(s.far_accesses) * caps.random_line_bytes;
+  }
+
+  /// Pure compute component of WorkCost (per-tuple, per-op and random-access
+  /// serial costs; no streaming term).
+  VTime ComputeTime(const CostStats& s, const DeviceCaps& caps) const {
+    return static_cast<double>(s.tuples) * caps.tuple_cost +
+           static_cast<double>(s.ops) * caps.op_cost +
+           static_cast<double>(s.atomics) * caps.atomic_cost +
+           static_cast<double>(s.near_accesses) * caps.near_access_cost +
+           static_cast<double>(s.mid_accesses) * caps.mid_access_cost +
+           static_cast<double>(s.far_accesses) * caps.far_access_cost;
+  }
+
   /// \brief Modeled time for a block of pipeline work on a device.
   ///
   /// `bandwidth_share` is the streaming bandwidth available to this execution
@@ -124,16 +143,8 @@ class CostModel {
   /// overlap on real hardware, so the modeled cost is their max.
   VTime WorkCost(const CostStats& s, const DeviceCaps& caps,
                  double bandwidth_share) const {
-    const double bw_bytes = static_cast<double>(s.TotalBytes()) +
-                            static_cast<double>(s.far_accesses) * caps.random_line_bytes;
-    const double bw_time = bw_bytes / bandwidth_share;
-    const double compute_time =
-        static_cast<double>(s.tuples) * caps.tuple_cost +
-        static_cast<double>(s.ops) * caps.op_cost +
-        static_cast<double>(s.atomics) * caps.atomic_cost +
-        static_cast<double>(s.near_accesses) * caps.near_access_cost +
-        static_cast<double>(s.mid_accesses) * caps.mid_access_cost +
-        static_cast<double>(s.far_accesses) * caps.far_access_cost;
+    const double bw_time = BandwidthBytes(s, caps) / bandwidth_share;
+    const double compute_time = ComputeTime(s, caps);
     return bw_time > compute_time ? bw_time : compute_time;
   }
 };

@@ -59,8 +59,8 @@ void GpuDevice::WorkerLoop(int worker) {
 }
 
 GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_threads,
-                                                int block_dim, VTime earliest,
-                                                double stream_bw, VTime epoch) {
+                                                int block_dim,
+                                                const LaunchOptions& opts) {
   HETEX_CHECK(grid_threads > 0 && block_dim > 0);
   // Kernels on one GPU serialize, functionally and in virtual time.
   std::lock_guard<std::mutex> launch_lock(launch_mu_);
@@ -81,10 +81,44 @@ GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_thr
   LaunchResult result;
   for (const auto& s : worker_stats_) result.stats.Add(s);
 
-  const double bw = stream_bw > 0.0 ? stream_bw : cost_model_->gpu_mem_bw;
-  const VTime work = cost_model_->WorkCost(result.stats, cost_model_->gpu, bw);
+  const DeviceCaps& caps = cost_model_->gpu;
+  VTime work;
+  if (opts.uva_link != nullptr) {
+    // UVA/zero-copy: the streamed bytes occupy the shared PCIe link, queueing
+    // behind (and ahead of) every in-flight session's DMA. The kernel cannot
+    // finish before its last byte crossed; compute overlaps with the stream,
+    // so its duration is max(compute, link window) — on an idle link exactly
+    // the old stream-bandwidth-discount cost (bytes / link rate vs compute).
+    const double bytes = cost_model_->BandwidthBytes(result.stats, caps);
+    const VTime compute = cost_model_->ComputeTime(result.stats, caps);
+    VTime stream_done = 0;
+    if (bytes > 0) {
+      // Anchor the bytes where the kernel's stream slot will actually start.
+      // Zero-copy reads are issued by the running kernel: placing them at
+      // `earliest` while another session holds the stream would occupy the
+      // link during an interval the kernel is not running AND double-charge
+      // that wait (once as link queueing inside `work`, again as stream
+      // queueing below); anchoring at the stream *horizon* would miss the
+      // first-fit gaps the slot can land in. Probe with the uncontended-link
+      // duration — link queueing can only grow the slot, and first fit for a
+      // longer slot never starts earlier, so the probe is a lower bound on
+      // the kernel's start.
+      const VTime uncontended = cost_model_->kernel_launch_latency +
+                                MaxT(compute, bytes / opts.uva_link->rate());
+      const VTime kernel_start =
+          stream_.ProbeStart(uncontended, opts.earliest, opts.epoch);
+      const auto lw = opts.uva_link->ReserveBytes(
+          static_cast<uint64_t>(bytes + 0.5), kernel_start, opts.epoch);
+      stream_done = lw.end - kernel_start;
+    }
+    work = MaxT(compute, stream_done);
+  } else {
+    const double bw =
+        opts.stream_bw > 0.0 ? opts.stream_bw : cost_model_->gpu_mem_bw;
+    work = cost_model_->WorkCost(result.stats, caps, bw);
+  }
   const auto window = stream_.ReserveDuration(
-      cost_model_->kernel_launch_latency + work, earliest, epoch);
+      cost_model_->kernel_launch_latency + work, opts.earliest, opts.epoch);
   result.start = window.start;
   result.end = window.end;
   return result;

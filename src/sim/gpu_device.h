@@ -52,19 +52,43 @@ class GpuDevice {
     CostStats stats;       ///< aggregated work counters
   };
 
+  /// Timing parameters of one kernel launch.
+  struct LaunchOptions {
+    /// Session-local virtual time at which the kernel's input exists.
+    VTime earliest = 0;
+    /// Effective memory bandwidth for this kernel: 0 = the device's full
+    /// bandwidth; lowered for register-pressure-limited occupancy (the DBMS G
+    /// emulation). Ignored when `uva_link` is set — UVA bandwidth then comes
+    /// from the link reservation itself.
+    double stream_bw = 0.0;
+    /// Absolute arrival time of the launching query session; the kernel queues
+    /// on the shared stream at `epoch + earliest` and the result windows come
+    /// back session-local (epoch-relative).
+    VTime epoch = 0.0;
+    /// UVA/zero-copy execution: the kernel's streamed bytes cross this PCIe
+    /// link and reserve real occupancy on it (epoch-anchored, first-fit,
+    /// exactly like DMA) — so concurrent sessions' transfers queue behind a
+    /// UVA kernel and vice versa, instead of the bytes vanishing into a
+    /// private stream-bandwidth discount. Null = device-memory kernel.
+    BandwidthServer* uva_link = nullptr;
+  };
+
   /// Launches a kernel over `grid_threads` logical threads (blocks of `block_dim`)
   /// and functionally executes it to completion.
-  ///
-  /// \param earliest session-local virtual time at which the kernel's input exists
-  /// \param stream_bw effective memory bandwidth for this kernel (defaults to the
-  ///        device's full bandwidth; callers lower it for UVA/zero-copy kernels
-  ///        that stream over PCIe, or for register-pressure-limited occupancy)
-  /// \param epoch absolute arrival time of the launching query session; the
-  ///        kernel queues on the shared stream at `epoch + earliest` and the
-  ///        result windows come back session-local (epoch-relative)
+  LaunchResult LaunchKernel(const KernelFn& fn, int grid_threads, int block_dim,
+                            const LaunchOptions& opts);
+
+  /// Convenience overload (earliest / stream_bw / epoch positional; no UVA
+  /// link) — the pre-UVA-occupancy signature most sim tests use.
   LaunchResult LaunchKernel(const KernelFn& fn, int grid_threads, int block_dim,
                             VTime earliest, double stream_bw = 0.0,
-                            VTime epoch = 0.0);
+                            VTime epoch = 0.0) {
+    LaunchOptions opts;
+    opts.earliest = earliest;
+    opts.stream_bw = stream_bw;
+    opts.epoch = epoch;
+    return LaunchKernel(fn, grid_threads, block_dim, opts);
+  }
 
   int id() const { return info_.id; }
   MemNodeId mem_node() const { return info_.mem; }

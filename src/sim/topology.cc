@@ -17,7 +17,7 @@ Topology::Topology(const Options& options) : options_(options) {
                                  options.host_capacity_per_socket, DeviceId::Cpu(s)});
     sockets_.push_back(Socket{s, options.cores_per_socket, node});
     socket_dram_.push_back(
-        std::make_unique<SharedBandwidth>(cm.cpu_socket_bw, cm.cpu_core_bw));
+        std::make_unique<DramServer>(cm.cpu_socket_bw, cm.cpu_core_bw));
   }
 
   for (int g = 0; g < options.num_gpus; ++g) {

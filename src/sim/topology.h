@@ -52,10 +52,10 @@ enum class MemAccess {
 
 /// \brief Static + dynamic description of the simulated heterogeneous server.
 ///
-/// Owns the virtual-time bandwidth resources: one SharedBandwidth per socket DRAM
-/// and one BandwidthServer per PCIe link. Capacities are modeled numbers (used for
-/// fits-in-GPU-memory decisions); physical allocation is on demand and much
-/// smaller.
+/// Owns the virtual-time bandwidth resources: one cross-session DramServer per
+/// socket DRAM and one BandwidthServer per PCIe link. Capacities are modeled
+/// numbers (used for fits-in-GPU-memory decisions); physical allocation is on
+/// demand and much smaller.
 class Topology {
  public:
   struct Options {
@@ -126,7 +126,8 @@ class Topology {
   BandwidthServer& pcie_link(int link) { return *pcie_links_.at(link); }
   const BandwidthServer& pcie_link(int link) const { return *pcie_links_.at(link); }
   int num_pcie_links() const { return static_cast<int>(pcie_links_.size()); }
-  SharedBandwidth& socket_dram(int socket) { return *socket_dram_.at(socket); }
+  DramServer& socket_dram(int socket) { return *socket_dram_.at(socket); }
+  const DramServer& socket_dram(int socket) const { return *socket_dram_.at(socket); }
 
   /// Absolute virtual time by which every PCIe link is idle. Sessions anchored
   /// at (or past) this horizon see fresh interconnects — the session-scoped
@@ -158,7 +159,7 @@ class Topology {
   std::vector<GpuInfo> gpus_;
   std::vector<MemNode> mem_nodes_;
   std::vector<std::unique_ptr<BandwidthServer>> pcie_links_;
-  std::vector<std::unique_ptr<SharedBandwidth>> socket_dram_;
+  std::vector<std::unique_ptr<DramServer>> socket_dram_;
 };
 
 }  // namespace hetex::sim

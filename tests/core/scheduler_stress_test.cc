@@ -1,0 +1,178 @@
+// Randomized concurrent-schedule stress test: a seeded RNG draws query mixes,
+// arrival offsets, pinned vs cost-optimized policies, admission caps and
+// memory-budget caps, then runs the drawn schedule through the concurrent
+// scheduler and checks the invariants the server model promises:
+//
+//   1. Row parity: every concurrent query produces exactly the rows its
+//      serial (solo) run produces.
+//   2. Contention never speeds up: a pinned-policy query sharing the server
+//      never beats its solo latency (optimized queries may legally pick a
+//      different — cheaper-under-load — plan, so they are parity-checked
+//      only).
+//   3. No queue-wait or epoch regression: admission waits are non-negative,
+//      no session's epoch regresses behind its own arrival or behind the
+//      batch's busy-period base, and every session of one batch reconstructs
+//      the same workload base (epoch - queue_wait - arrival_offset). (Epochs
+//      are NOT monotone across admissions: a slot freed by an early-finishing
+//      query legally anchors later in FIFO order but earlier in virtual time.)
+//
+// CI runs the three pinned seeds below (also under ThreadSanitizer); the
+// FUZZ_ITERS environment knob scales the rounds per seed for longer local
+// soaks without workflow edits.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "test_util.h"
+
+namespace hetex::core {
+namespace {
+
+using plan::ExecPolicy;
+using test::FuzzIters;
+using test::TestEnv;
+
+/// Deterministic pinned policy (round-robin routing): latency comparisons must
+/// not hinge on the adaptive balancer's thread-timing luck.
+ExecPolicy PinnedPolicy(Rng& rng) {
+  ExecPolicy policy;
+  switch (rng.Uniform(3)) {
+    case 0: policy = ExecPolicy::CpuOnly(2 + static_cast<int>(rng.Uniform(2))); break;
+    case 1: policy = ExecPolicy::GpuOnly(); break;
+    default: policy = ExecPolicy::Hybrid(3); break;
+  }
+  policy = TestEnv::Tune(policy);
+  policy.load_balance = false;
+  return policy;
+}
+
+struct DrawnQuery {
+  plan::QuerySpec spec;
+  SubmitOptions opts;
+  bool pinned = false;
+  double solo_modeled = 0;  ///< pinned queries only
+};
+
+class SchedulerStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerStressTest, RandomScheduleKeepsInvariants) {
+  Rng rng(GetParam());
+  TestEnv env(15'000);
+  QueryExecutor executor(env.system.get());
+
+  // Solo reference rows (and, for pinned policies, solo latencies) are
+  // measured once per distinct (query, policy) pair on an idle server.
+  const std::vector<std::pair<int, int>> kPool = {
+      {1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}, {3, 2}, {4, 1}, {4, 2}};
+  std::map<std::string, std::vector<std::vector<int64_t>>> reference;
+
+  const int rounds = FuzzIters(2);
+  for (int round = 0; round < rounds; ++round) {
+    // --- Draw one schedule.
+    const int n_queries = 3 + static_cast<int>(rng.Uniform(4));  // 3..6
+    std::vector<DrawnQuery> batch;
+    std::vector<double> offsets;
+    for (int q = 0; q < n_queries; ++q) {
+      offsets.push_back(rng.NextDouble() * 0.02);
+    }
+    // Sorted offsets make FIFO admission order == arrival order, so epoch
+    // monotonicity is a hard invariant rather than a probabilistic one.
+    std::sort(offsets.begin(), offsets.end());
+    for (int q = 0; q < n_queries; ++q) {
+      DrawnQuery d;
+      const auto [flight, idx] = kPool[rng.Uniform(kPool.size())];
+      d.spec = env.ssb->Query(flight, idx);
+      d.opts.arrival_offset = offsets[q];
+      d.pinned = rng.NextBool(0.6);
+      if (d.pinned) d.opts.policy = PinnedPolicy(rng);
+      if (rng.NextBool(0.3)) {
+        // Budget cap: some queries demand a big slice of the arenas, forcing
+        // the memory admission path (never bigger than the arenas, which
+        // would serialize everything and time nothing interesting).
+        d.opts.memory_budget_blocks = 64 + rng.Uniform(128);
+      }
+      batch.push_back(std::move(d));
+    }
+
+    // --- Serial baselines.
+    for (auto& d : batch) {
+      QueryResult solo = d.pinned ? executor.Execute(d.spec, *d.opts.policy)
+                                  : executor.Execute(d.spec);
+      ASSERT_TRUE(solo.status.ok()) << d.spec.name << ": " << solo.status.ToString();
+      d.solo_modeled = solo.modeled_seconds;
+      auto it = reference.find(d.spec.name);
+      if (it == reference.end()) {
+        reference[d.spec.name] = solo.rows;
+      } else {
+        // Solo runs of the same query under any policy agree with each other.
+        ASSERT_EQ(solo.rows, it->second) << d.spec.name;
+      }
+    }
+
+    // --- The concurrent schedule.
+    QueryScheduler::Options sched_opts;
+    sched_opts.max_concurrent = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
+    QueryScheduler scheduler(env.system.get(), sched_opts);
+    std::vector<QueryHandle> handles;
+    for (const auto& d : batch) handles.push_back(scheduler.Submit(d.spec, d.opts));
+
+    std::vector<QueryResult> results;
+    for (auto& h : handles) results.push_back(scheduler.Wait(h));
+
+    double workload_base = -1;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& r = results[i];
+      const DrawnQuery& d = batch[i];
+      ASSERT_TRUE(r.status.ok())
+          << "seed " << GetParam() << " round " << round << " " << d.spec.name
+          << ": " << r.status.ToString();
+
+      // 1. Row parity vs serial.
+      EXPECT_EQ(r.rows, reference[d.spec.name])
+          << "seed " << GetParam() << " round " << round << " " << d.spec.name;
+
+      // 2. Contention never speeds up (pinned plans only — the optimizer may
+      // legitimately pick a different plan under load). 2% tolerance for the
+      // per-run jitter of one query's own concurrent producers.
+      if (d.pinned) {
+        EXPECT_GE(r.modeled_seconds, d.solo_modeled * 0.98)
+            << "seed " << GetParam() << " round " << round << " " << d.spec.name
+            << " concurrent " << r.modeled_seconds << " vs solo "
+            << d.solo_modeled;
+      }
+
+      // 3. No queue-wait or epoch regression.
+      EXPECT_GE(r.queue_wait, 0.0) << d.spec.name;
+      const double base = r.session_epoch - r.queue_wait - r.arrival_offset;
+      if (workload_base < 0) {
+        workload_base = base;
+      } else {
+        // Every session of one batch anchors on the same workload base.
+        EXPECT_NEAR(base, workload_base, 1e-9) << d.spec.name;
+      }
+      // The session never starts before it arrived, nor behind the batch base.
+      EXPECT_GE(r.session_epoch + 1e-9, workload_base + r.arrival_offset)
+          << "seed " << GetParam() << " round " << round << " query " << i;
+      EXPECT_GE(r.session_epoch + 1e-9, workload_base)
+          << "seed " << GetParam() << " round " << round << " query " << i;
+
+      // Session hash-table namespaces are dropped on exit.
+      EXPECT_EQ(env.system->hts().NumTables(r.query_id), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSeeds, SchedulerStressTest,
+                         ::testing::Values(0xC0FFEEull, 42ull, 20260729ull),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hetex::core

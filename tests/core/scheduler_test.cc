@@ -273,6 +273,172 @@ TEST(SchedulerTest, ArrivalOffsetsDelaySessions) {
               0.05 * ra.modeled_seconds);
 }
 
+// ---------------------------------------------------------------------------
+// UVA link occupancy end to end: a bare-GPU (UVA) query's kernel bytes occupy
+// the PCIe link BandwidthServer, so a DMA-heavy query sharing the link and the
+// virtual timeline runs slower than solo.
+// ---------------------------------------------------------------------------
+
+/// Custom contention server: fixed latencies scaled down so the 10 ms router
+/// bring-up does not drown the bandwidth effects under test, and (optionally)
+/// one many-core socket where the 45 GB/s DRAM aggregate genuinely binds.
+struct ContentionEnv {
+  ContentionEnv(int sockets, int cores_per_socket, int gpus,
+                uint64_t lineorder_rows) {
+    System::Options opts;
+    opts.topology.num_sockets = sockets;
+    opts.topology.cores_per_socket = cores_per_socket;
+    opts.topology.num_gpus = gpus;
+    opts.topology.gpu_sim_threads = 2;
+    opts.topology.host_capacity_per_socket = 4ull << 30;
+    opts.topology.gpu_capacity = 1ull << 30;
+    opts.topology.cost_model.ScaleFixedLatencies(0.001);
+    opts.blocks.block_bytes = 64 << 10;
+    opts.blocks.host_arena_blocks = 256;
+    opts.blocks.gpu_arena_blocks = 128;
+    system = std::make_unique<System>(opts);
+
+    ssb::Ssb::Options ssb_opts;
+    ssb_opts.lineorder_rows = lineorder_rows;
+    ssb_opts.scale = 0.002;
+    ssb = std::make_unique<ssb::Ssb>(ssb_opts, &system->catalog());
+    for (const char* name :
+         {"lineorder", "date", "customer", "supplier", "part"}) {
+      HETEX_CHECK_OK(system->catalog().at(name).Place(system->HostNodes(),
+                                                      &system->memory()));
+    }
+  }
+
+  std::unique_ptr<System> system;
+  std::unique_ptr<ssb::Ssb> ssb;
+};
+
+TEST(SchedulerTest, DmaQuerySlowsDownBehindConcurrentUvaQuery) {
+  ContentionEnv env(2, 2, 2, 60'000);
+  QueryExecutor executor(env.system.get());
+  const auto spec = env.ssb->Query(1, 1);
+
+  ExecPolicy gpu_policy = TestEnv::Tune(ExecPolicy::GpuOnly());
+  gpu_policy.load_balance = false;  // deterministic block routing
+  const plan::HetPlan dma_plan =
+      plan::BuildHetPlan(spec, gpu_policy, env.system->topology());
+  const plan::HetPlan uva_plan = plan::BuildHetPlan(
+      spec, ExecPolicy::Bare(sim::DeviceType::kGpu), env.system->topology());
+
+  // Solo baseline of the DMA-heavy plan (idle arrival).
+  QueryResult solo = executor.ExecutePlan(spec, dma_plan);
+  ASSERT_TRUE(solo.status.ok()) << solo.status.ToString();
+
+  // The UVA query runs first; its epoch is offset by the DMA query's router
+  // bring-up so the two sessions' link activity overlaps in virtual time (the
+  // bare plan has no routers and starts streaming immediately). Its kernels
+  // leave real occupancy on gpu0's link; the DMA query then joins the earlier
+  // epoch and its fact-table transfers queue behind the UVA streams.
+  const sim::VTime epoch = env.system->VirtualHorizon();
+  const sim::VTime init = env.system->cost_model().router_init_latency;
+  QueryResult uva = executor.ExecutePlan(
+      spec, uva_plan, QuerySession{env.system->NextQueryId(), epoch + init});
+  ASSERT_TRUE(uva.status.ok()) << uva.status.ToString();
+  ASSERT_EQ(uva.rows, solo.rows);
+
+  QueryResult contended = executor.ExecutePlan(
+      spec, dma_plan, QuerySession{env.system->NextQueryId(), epoch});
+  ASSERT_TRUE(contended.status.ok()) << contended.status.ToString();
+  EXPECT_EQ(contended.rows, solo.rows);
+  // Visible slowdown, not just noise: the UVA query streamed the whole fact
+  // table over link 0 ahead of this session's transfers.
+  EXPECT_GT(contended.modeled_seconds, solo.modeled_seconds * 1.05)
+      << "contended " << contended.modeled_seconds << " vs solo "
+      << solo.modeled_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-session CPU DRAM contention: a socket's fluid shares divide across
+// every in-flight session's workers, not just one query's.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, OtherSessionsWorkersShrinkDramFluidShare) {
+  // One socket x 12 cores, no GPUs: 12 solo workers stream at 45/12 GB/s each.
+  ContentionEnv env(1, 12, 0, 60'000);
+  QueryExecutor executor(env.system.get());
+  const auto spec = env.ssb->Query(1, 1);
+  ExecPolicy policy = TestEnv::Tune(ExecPolicy::CpuOnly(12));
+  policy.load_balance = false;
+
+  sim::DramServer& dram = env.system->topology().socket_dram(0);
+  const uint64_t gen_before = dram.generation();
+  QueryResult solo = executor.Execute(spec, policy);
+  ASSERT_TRUE(solo.status.ok()) << solo.status.ToString();
+  // The runtime itself registered (and released) this query's workers: one
+  // register/release pair per execution phase (builds, fact chain). Without
+  // this, every contention assertion below could pass against a runtime that
+  // silently stopped charging cross-session DRAM.
+  EXPECT_EQ(dram.generation() - gen_before, 4u);
+  EXPECT_EQ(dram.active_workers(), 0);
+
+  // A phantom in-flight session holds 12 workers on socket 0: every worker's
+  // share drops from 45/12 to 45/24 GB/s, and the bandwidth-bound scan phase
+  // slows visibly — deterministically, no thread-timing luck involved.
+  const uint64_t token = dram.Register(/*session=*/999'999, /*epoch=*/0.0, 12);
+  QueryResult contended = executor.Execute(spec, policy);
+  dram.Release(token);
+  ASSERT_TRUE(contended.status.ok()) << contended.status.ToString();
+  EXPECT_EQ(contended.rows, solo.rows);
+  EXPECT_GT(contended.modeled_seconds, solo.modeled_seconds * 1.2)
+      << "contended " << contended.modeled_seconds << " vs solo "
+      << solo.modeled_seconds;
+
+  // Released: the next solo run is back on the solo timeline.
+  QueryResult after = executor.Execute(spec, policy);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_NEAR(after.modeled_seconds, solo.modeled_seconds,
+              0.02 * solo.modeled_seconds);
+
+  // Self-exclusion: a registration under the query's OWN session id is not
+  // charged — the id threads through WorkerInstance into every provider, so
+  // a query never divides by its own phase registrations twice.
+  const uint64_t qid = env.system->NextQueryId();
+  const plan::HetPlan plan =
+      plan::BuildHetPlan(spec, policy, env.system->topology());
+  const uint64_t self = dram.Register(qid, 0.0, 12);
+  QueryResult self_run = executor.ExecutePlan(
+      spec, plan, QuerySession{qid, env.system->VirtualHorizon()});
+  dram.Release(self);
+  ASSERT_TRUE(self_run.status.ok()) << self_run.status.ToString();
+  EXPECT_NEAR(self_run.modeled_seconds, solo.modeled_seconds,
+              0.02 * solo.modeled_seconds);
+}
+
+TEST(SchedulerTest, ConcurrentSessionsOnOneSocketEachGetReducedShare) {
+  ContentionEnv env(1, 12, 0, 30'000);
+  System* system = env.system.get();
+  QueryExecutor executor(system);
+  const auto spec = env.ssb->Query(1, 1);
+  ExecPolicy policy = TestEnv::Tune(ExecPolicy::CpuOnly(12));
+  policy.load_balance = false;
+
+  QueryResult solo = executor.Execute(spec, policy);
+  ASSERT_TRUE(solo.status.ok()) << solo.status.ToString();
+
+  // Two sessions in flight on the one socket: each runs wall-clock
+  // concurrently with the other, so each divides the DRAM aggregate by both
+  // sessions' workers for the overlapping part of its lifetime. Contention
+  // can only slow them down, never speed them up.
+  QueryScheduler scheduler(system, {.max_concurrent = 2});
+  SubmitOptions opts;
+  opts.policy = policy;
+  QueryHandle a = scheduler.Submit(spec, opts);
+  QueryHandle b = scheduler.Submit(spec, opts);
+  QueryResult ra = scheduler.Wait(a);
+  QueryResult rb = scheduler.Wait(b);
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+  ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+  EXPECT_EQ(ra.rows, solo.rows);
+  EXPECT_EQ(rb.rows, solo.rows);
+  EXPECT_GE(ra.modeled_seconds, solo.modeled_seconds * 0.98);
+  EXPECT_GE(rb.modeled_seconds, solo.modeled_seconds * 0.98);
+}
+
 TEST(SchedulerTest, WaitOnUnknownHandleFails) {
   TestEnv env(20'000);
   QueryScheduler scheduler(env.system.get());

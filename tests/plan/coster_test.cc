@@ -184,6 +184,176 @@ TEST(PlanCosterTest, SharedLinkOccupancyBoundsPipelinedStages) {
   EXPECT_GT(est.value().total, 0.0);
 }
 
+TEST(PlanCosterTest, LinkBacklogRaisesUvaPlanEstimates) {
+  // Bare-GPU (UVA) kernels now charge their streamed bytes on the PCIe link,
+  // so the scheduler's backlog signal steers UVA plans exactly like DMA ones.
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(1, 1);
+  const plan::HetPlan uva_plan = plan::BuildHetPlan(
+      spec, ExecPolicy::Bare(sim::DeviceType::kGpu), env.system->topology());
+
+  plan::PlanCoster::Options idle;
+  idle.pack_block_rows = env.system->blocks().options().block_bytes / 8;
+  plan::PlanCoster::Options loaded = idle;
+  loaded.link_backlog.assign(env.system->topology().num_pcie_links(), 0.5);
+
+  plan::PlanCoster idle_coster(spec, env.system->catalog(),
+                               env.system->topology(), idle);
+  plan::PlanCoster loaded_coster(spec, env.system->catalog(),
+                                 env.system->topology(), loaded);
+  const auto uva_idle = idle_coster.Cost(uva_plan);
+  const auto uva_loaded = loaded_coster.Cost(uva_plan);
+  ASSERT_TRUE(uva_idle.ok() && uva_loaded.ok());
+  EXPECT_GT(uva_loaded.value().total, uva_idle.value().total);
+  EXPECT_GE(uva_loaded.value().total, uva_idle.value().total + 0.4);
+}
+
+TEST(PlanCosterTest, SocketBacklogRaisesCpuPlanEstimates) {
+  TestEnv env(20'000);
+  const auto spec = env.ssb->Query(1, 1);
+  const plan::HetPlan cpu_plan = plan::BuildHetPlan(
+      spec, TestEnv::Tune(ExecPolicy::CpuOnly(3)), env.system->topology());
+  const plan::HetPlan gpu_plan = plan::BuildHetPlan(
+      spec, TestEnv::Tune(ExecPolicy::GpuOnly()), env.system->topology());
+
+  plan::PlanCoster::Options idle;
+  idle.pack_block_rows = env.system->blocks().options().block_bytes / 8;
+  plan::PlanCoster::Options loaded = idle;
+  // Other sessions run 20 workers per socket: CPU fluid shares collapse from
+  // the per-core cap to 45/22 GB/s; GPU plans are immune to the signal.
+  loaded.socket_backlog_workers.assign(env.system->topology().num_sockets(), 20);
+
+  plan::PlanCoster idle_coster(spec, env.system->catalog(),
+                               env.system->topology(), idle);
+  plan::PlanCoster loaded_coster(spec, env.system->catalog(),
+                                 env.system->topology(), loaded);
+  const auto cpu_idle = idle_coster.Cost(cpu_plan);
+  const auto cpu_loaded = loaded_coster.Cost(cpu_plan);
+  ASSERT_TRUE(cpu_idle.ok() && cpu_loaded.ok());
+  EXPECT_GT(cpu_loaded.value().total, cpu_idle.value().total);
+
+  const auto gpu_idle = idle_coster.Cost(gpu_plan);
+  const auto gpu_loaded = loaded_coster.Cost(gpu_plan);
+  ASSERT_TRUE(gpu_idle.ok() && gpu_loaded.ok());
+  EXPECT_DOUBLE_EQ(gpu_loaded.value().total, gpu_idle.value().total);
+}
+
+// --------------------------------------------------------------------------
+// Coster accuracy under load: with 2 and 4 sessions in flight (simulated as
+// real link occupancy + registered DRAM workers), the estimated ordering of
+// candidate plans still agrees with the measured ordering — UVA and DRAM
+// contention are charged the same way in the estimate and the runtime.
+// --------------------------------------------------------------------------
+
+class CosterUnderLoadTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr uint64_t kPhantomSession = 999'999'999ull;
+
+  /// Per-level load shape for `in_flight` total sessions: each phantom
+  /// session contributes link occupancy and socket workers.
+  static double BacklogSeconds(int in_flight) { return 0.02 * (in_flight - 1); }
+  static int BacklogWorkers(int in_flight) { return 6 * (in_flight - 1); }
+
+  /// Measured virtual time of `plan` for a session joining a server whose
+  /// links and sockets carry the level's in-flight load.
+  static double MeasureUnderLoad(core::System* system,
+                                 const plan::QuerySpec& spec,
+                                 const plan::HetPlan& plan, int in_flight) {
+    sim::Topology& topo = system->topology();
+    const sim::VTime h = system->VirtualHorizon();
+    for (int l = 0; l < topo.num_pcie_links(); ++l) {
+      topo.pcie_link(l).ReserveDuration(BacklogSeconds(in_flight), 0.0, h);
+    }
+    std::vector<uint64_t> tokens;
+    for (int s = 0; s < topo.num_sockets(); ++s) {
+      tokens.push_back(topo.socket_dram(s).Register(kPhantomSession, h,
+                                                    BacklogWorkers(in_flight)));
+    }
+    core::QueryExecutor executor(system);
+    const core::QueryResult r = executor.ExecutePlan(
+        spec, plan, core::QuerySession{system->NextQueryId(), h});
+    for (int s = 0; s < topo.num_sockets(); ++s) {
+      topo.socket_dram(s).Release(tokens[s]);
+    }
+    EXPECT_TRUE(r.status.ok()) << spec.name << ": " << r.status.ToString();
+    return r.status.ok() ? r.modeled_seconds : -1.0;
+  }
+
+  static double EstimateUnderLoad(core::System* system,
+                                  const plan::QuerySpec& spec,
+                                  const plan::HetPlan& plan, int in_flight) {
+    plan::PlanCoster::Options opts;
+    opts.pack_block_rows = system->blocks().options().block_bytes / 8;
+    opts.link_backlog.assign(system->topology().num_pcie_links(),
+                             BacklogSeconds(in_flight));
+    opts.socket_backlog_workers.assign(system->topology().num_sockets(),
+                                       BacklogWorkers(in_flight));
+    plan::PlanCoster coster(spec, system->catalog(), system->topology(), opts);
+    const auto cost = coster.Cost(plan);
+    EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+    return cost.ok() ? cost.value().total : -1.0;
+  }
+};
+
+TEST_P(CosterUnderLoadTest, EstimatedOrderingMatchesMeasuredOrdering) {
+  const int in_flight = GetParam();
+  TestEnv env(60'000);
+  const auto spec = env.ssb->Query(1, 1);
+  const sim::Topology& topo = env.system->topology();
+
+  ExecPolicy cpu_pol = TestEnv::Tune(ExecPolicy::CpuOnly(3));
+  cpu_pol.load_balance = false;
+  ExecPolicy gpu_pol = TestEnv::Tune(ExecPolicy::GpuOnly());
+  gpu_pol.load_balance = false;
+  const plan::HetPlan cpu_plan = plan::BuildHetPlan(spec, cpu_pol, topo);
+  const plan::HetPlan gpu_plan = plan::BuildHetPlan(spec, gpu_pol, topo);
+  const plan::HetPlan uva_plan =
+      plan::BuildHetPlan(spec, ExecPolicy::Bare(sim::DeviceType::kGpu), topo);
+
+  // The matrix: the DMA-heavy GPU plan and the UVA plan each ordered against
+  // the link-immune CPU plan, estimated vs measured under the same load.
+  const struct {
+    const char* name;
+    const plan::HetPlan* a;
+    const plan::HetPlan* b;
+  } kPairs[] = {{"cpu-vs-gpu", &cpu_plan, &gpu_plan},
+                {"cpu-vs-uva", &cpu_plan, &uva_plan}};
+  for (const auto& pair : kPairs) {
+    const double est_a =
+        EstimateUnderLoad(env.system.get(), spec, *pair.a, in_flight);
+    const double est_b =
+        EstimateUnderLoad(env.system.get(), spec, *pair.b, in_flight);
+    const double meas_a =
+        MeasureUnderLoad(env.system.get(), spec, *pair.a, in_flight);
+    const double meas_b =
+        MeasureUnderLoad(env.system.get(), spec, *pair.b, in_flight);
+    ASSERT_GT(est_a, 0);
+    ASSERT_GT(meas_a, 0);
+    EXPECT_EQ(est_a < est_b, meas_a < meas_b)
+        << pair.name << " at " << in_flight << " in flight: est " << est_a
+        << " vs " << est_b << ", measured " << meas_a << " vs " << meas_b;
+  }
+
+  // At 2+ sessions of backlog the link-bound plans lose to the CPU plan in
+  // both the estimate and the measurement — the steering the scheduler's
+  // OptimizeAt(load signal) relies on, now covering UVA plans too.
+  const double est_cpu =
+      EstimateUnderLoad(env.system.get(), spec, cpu_plan, in_flight);
+  const double est_uva =
+      EstimateUnderLoad(env.system.get(), spec, uva_plan, in_flight);
+  const double meas_cpu =
+      MeasureUnderLoad(env.system.get(), spec, cpu_plan, in_flight);
+  const double meas_uva =
+      MeasureUnderLoad(env.system.get(), spec, uva_plan, in_flight);
+  EXPECT_LT(est_cpu, est_uva);
+  EXPECT_LT(meas_cpu, meas_uva);
+}
+
+INSTANTIATE_TEST_SUITE_P(InFlight, CosterUnderLoadTest, ::testing::Values(2, 4),
+                         [](const auto& info) {
+                           return "sessions" + std::to_string(info.param);
+                         });
+
 TEST(PlanCosterTest, RejectsMalformedPlans) {
   TestEnv env(5'000);
   const auto spec = env.ssb->Query(1, 1);

@@ -88,25 +88,65 @@ TEST(BandwidthServer, ConcurrentReservationsNeverOverlap) {
   EXPECT_NEAR(max_end, kThreads * kPerThread * 1000 / 1e9, 1e-12);
 }
 
-TEST(SharedBandwidth, PerWorkerCapUntilSaturation) {
-  SharedBandwidth dram(45e9, 6e9);
-  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);  // idle: full per-core rate
-  std::vector<SharedBandwidth::Guard> guards;
-  for (int i = 0; i < 7; ++i) guards.emplace_back(&dram);
-  // 7 workers: 45/7 = 6.43 > 6 -> still per-core capped.
-  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);
-  guards.emplace_back(&dram);
-  // 8 workers: 45/8 = 5.625 < 6 -> fluid share kicks in.
-  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 45e9 / 8);
+TEST(BandwidthServer, ReserveBytesSkipsSetupLatency) {
+  BandwidthServer server(1e9, /*latency=*/1e-5);
+  // UVA/zero-copy streams pay pure bandwidth: no per-transfer setup term,
+  // but the occupancy is real — a later DMA queues behind it.
+  auto uva = server.ReserveBytes(1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(uva.end, 1e-3);
+  auto dma = server.Reserve(1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(dma.start, uva.end);
+  EXPECT_DOUBLE_EQ(dma.end, uva.end + 1e-3 + 1e-5);
 }
 
-TEST(SharedBandwidth, GuardReleasesOnDestruction) {
-  SharedBandwidth dram(10e9, 1e9);
-  {
-    auto g = dram.Enter();
-    EXPECT_EQ(dram.active_workers(), 1);
-  }
+TEST(DramServer, PerWorkerCapUntilSaturation) {
+  DramServer dram(45e9, 6e9);
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);  // idle: full per-core rate
+  const uint64_t seven = dram.Register(/*session=*/1, /*epoch=*/0.0, 7);
+  // 7 workers: 45/7 = 6.43 > 6 -> still per-core capped.
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 6e9);
+  const uint64_t one = dram.Register(/*session=*/1, /*epoch=*/0.0, 1);
+  // 8 workers: 45/8 = 5.625 < 6 -> fluid share kicks in.
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 45e9 / 8);
+  dram.Release(seven);
+  dram.Release(one);
   EXPECT_EQ(dram.active_workers(), 0);
+}
+
+TEST(DramServer, SessionsSplitTheAggregate) {
+  DramServer dram(45e9, 6e9);
+  // Session 10 runs 6 workers: its divisor is its own count only.
+  const uint64_t a = dram.Register(10, /*epoch=*/0.0, 6);
+  EXPECT_EQ(dram.workers_besides(10), 0);
+  EXPECT_EQ(dram.active_sessions(), 1);
+  // Session 11 arrives with 6 more: each session now sees the other's workers
+  // in its fluid-share divisor (6 own + 6 besides = 45/12 each).
+  const uint64_t b = dram.Register(11, /*epoch=*/2.5, 6);
+  EXPECT_EQ(dram.workers_besides(10), 6);
+  EXPECT_EQ(dram.workers_besides(11), 6);
+  EXPECT_EQ(dram.active_workers(), 12);
+  EXPECT_EQ(dram.active_sessions(), 2);
+  EXPECT_DOUBLE_EQ(dram.EffectiveRate(), 45e9 / 12);
+  EXPECT_DOUBLE_EQ(dram.min_epoch(), 0.0);
+  dram.Release(a);
+  EXPECT_EQ(dram.workers_besides(11), 0);
+  EXPECT_DOUBLE_EQ(dram.min_epoch(), 2.5);
+  dram.Release(b);
+  EXPECT_EQ(dram.active_sessions(), 0);
+}
+
+TEST(DramServer, OneSessionMayHoldSeveralRegistrations) {
+  // Build phase and fact phase of one query can overlap registration windows;
+  // neither counts against the query's own divisor.
+  DramServer dram(45e9, 6e9);
+  const uint64_t build = dram.Register(7, 0.0, 2);
+  const uint64_t fact = dram.Register(7, 0.0, 4);
+  EXPECT_EQ(dram.workers_besides(7), 0);
+  EXPECT_EQ(dram.active_workers(), 6);
+  EXPECT_EQ(dram.active_sessions(), 1);
+  EXPECT_EQ(dram.workers_besides(8), 6);  // another session sees all of them
+  dram.Release(build);
+  dram.Release(fact);
 }
 
 }  // namespace

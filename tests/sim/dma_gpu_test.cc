@@ -158,6 +158,137 @@ TEST_F(GpuDeviceTest, StreamBwOverrideForUva) {
               1e-5);
 }
 
+// ---------------------------------------------------------------------------
+// UVA link occupancy: a zero-copy kernel's streamed bytes reserve real
+// occupancy on the PCIe link BandwidthServer, exactly like DMA.
+// ---------------------------------------------------------------------------
+
+TEST_F(GpuDeviceTest, UvaKernelMatchesStreamDiscountOnIdleLink) {
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  // Old model: bandwidth discounted to the PCIe rate on the GPU stream only.
+  auto discounted =
+      gpu_.LaunchKernel(kernel, 64, 32, 0.0, topo_.cost_model().pcie_bw);
+  // New model: the bytes reserve the link itself. On an idle link the modeled
+  // kernel duration is identical — the recalibration-free equivalence that
+  // keeps solo bare-GPU baselines unchanged.
+  GpuDevice::LaunchOptions opts;
+  opts.epoch = gpu_.stream_free_at();  // fresh session, idle stream
+  opts.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  auto charged = gpu_.LaunchKernel(kernel, 64, 32, opts);
+  EXPECT_NEAR(charged.end - charged.start, discounted.end - discounted.start,
+              1e-9);
+}
+
+TEST_F(GpuDeviceTest, UvaKernelBytesOccupyTheLink) {
+  BandwidthServer& link = topo_.pcie_link(topo_.PcieLinkOf(0));
+  const VTime before = link.free_at();
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  GpuDevice::LaunchOptions opts;
+  opts.uva_link = &link;
+  gpu_.LaunchKernel(kernel, 64, 32, opts);
+  // 12 MB at 12 GB/s: the link horizon moved by the kernel's streamed bytes.
+  EXPECT_NEAR(link.free_at() - before, 1e-3, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, UvaKernelsOnBusyStreamDoNotDoubleChargeLinkWait) {
+  // Two same-epoch transfer-bound UVA kernels on one GPU: B waits for the
+  // stream (kernels serialize) and then streams its own bytes. The stream
+  // wait must not ALSO appear as link queueing inside B's modeled work —
+  // B's bytes anchor where its kernel can actually start, so B ends one
+  // transfer after A, not two.
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  GpuDevice::LaunchOptions opts;
+  opts.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  auto a = gpu_.LaunchKernel(kernel, 64, 32, opts);
+  auto b = gpu_.LaunchKernel(kernel, 64, 32, opts);
+  const double transfer = 12'000'000 / topo_.cost_model().pcie_bw;  // 1 ms
+  const double launch = topo_.cost_model().kernel_launch_latency;
+  EXPECT_NEAR(b.end - b.start, transfer + launch, 1e-6);
+  EXPECT_NEAR(b.end, a.end + transfer + launch, 1e-6);
+}
+
+TEST_F(GpuDeviceTest, UvaBytesAnchorAtKernelGapNotStreamHorizon) {
+  // A far-future session occupies the stream well past this session's epoch.
+  // The UVA kernel first-fits into the open gap at the start of the timeline,
+  // and its link bytes must anchor in that gap too — not at the stream
+  // horizon, which would leave phantom far-future link occupancy while the
+  // kernel is reported done at t~=0.
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  GpuDevice::LaunchOptions future;
+  future.epoch = 1000.0;
+  future.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  gpu_.LaunchKernel(kernel, 64, 32, future);
+
+  GpuDevice::LaunchOptions now;
+  now.uva_link = future.uva_link;
+  auto r = gpu_.LaunchKernel(kernel, 64, 32, now);
+  const double transfer = 12'000'000 / topo_.cost_model().pcie_bw;  // 1 ms
+  EXPECT_DOUBLE_EQ(r.start, 0.0);  // slot in the gap before the future session
+  EXPECT_NEAR(r.end, transfer + topo_.cost_model().kernel_launch_latency, 1e-6);
+  // The bytes landed in the same gap: a third session's DMA right after the
+  // kernel is pushed past the kernel's transfer, not past the far horizon.
+  DmaEngine dma(&topo_);
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  TransferTicket t =
+      dma.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, false, 0.0);
+  EXPECT_GT(t.ready_at(), transfer);
+  EXPECT_LT(t.ready_at(), transfer + 1e-3);
+  t.Wait();
+}
+
+TEST_F(GpuDeviceTest, DmaQueuesBehindUvaKernel) {
+  // A UVA query streams 12 MB over link 0; a concurrent session's DMA on the
+  // same link (same epoch) must queue behind it.
+  DmaEngine dma(&topo_);
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 12'000'000;
+  };
+  GpuDevice::LaunchOptions opts;
+  opts.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  gpu_.LaunchKernel(kernel, 64, 32, opts);
+
+  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
+  TransferTicket t =
+      dma.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, false, 0.0);
+  const auto& cm = topo_.cost_model();
+  const double solo = cm.dma_latency + (1 << 20) / cm.pcie_bw;
+  // Queued behind the kernel's ~1 ms of link occupancy.
+  EXPECT_GT(t.ready_at(), solo + 0.9e-3);
+  t.Wait();
+}
+
+TEST_F(GpuDeviceTest, UvaKernelQueuesBehindDma) {
+  // The reverse direction: a DMA-heavy session fills the link; the UVA
+  // kernel's transfer (and therefore the kernel) is pushed out.
+  DmaEngine dma(&topo_);
+  std::vector<uint8_t> buf(12 << 20), dst(12 << 20);
+  TransferTicket t =
+      dma.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, false, 0.0);
+
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 1'000'000;
+  };
+  GpuDevice::LaunchOptions opts;
+  opts.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  auto r = gpu_.LaunchKernel(kernel, 64, 32, opts);
+  const auto& cm = topo_.cost_model();
+  // Solo the kernel would finish in launch + 1MB/12GB/s; behind 12 MB of DMA
+  // it cannot end before the DMA drained plus its own bytes.
+  EXPECT_GT(r.end, t.ready_at());
+  EXPECT_NEAR(r.end,
+              t.ready_at() + 1'000'000 / cm.pcie_bw + cm.kernel_launch_latency,
+              1e-6);
+  t.Wait();
+}
+
 TEST_F(GpuDeviceTest, EpochPastStreamBacklogStartsFresh) {
   auto noop = [](const KernelCtx&) {};
   gpu_.LaunchKernel(noop, 64, 32, 0.0);

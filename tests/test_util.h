@@ -1,6 +1,7 @@
 #ifndef HETEX_TESTS_TEST_UTIL_H_
 #define HETEX_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <memory>
 
 #include "core/executor.h"
@@ -9,6 +10,16 @@
 #include "ssb/ssb.h"
 
 namespace hetex::test {
+
+/// Iteration scale knob shared by the stress and fuzz harnesses: small by
+/// default (CI-friendly), larger for local soaks
+/// (`FUZZ_ITERS=100 ./hetex_tests --gtest_filter='*Fuzz*:*Stress*'`).
+inline int FuzzIters(int dflt) {
+  const char* env = std::getenv("FUZZ_ITERS");
+  if (env == nullptr) return dflt;
+  const int v = std::atoi(env);
+  return v > 0 ? v : dflt;
+}
 
 /// Small simulated server + tiny SSB database for fast tests.
 struct TestEnv {
