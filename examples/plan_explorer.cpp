@@ -6,6 +6,13 @@
 // system's program cache, reporting the chosen JIT tier and the per-device
 // cache hit/miss counters.
 //
+// Tiering goes up to tier 2 (native codegen) when the kernel cache is enabled:
+// run with HETEX_KERNEL_DIR=<dir> (or HETEX_TIER2=1) to see spans tier up to
+// "native (jit-compiled)" — and, on a second run against the same directory,
+// "native (kernel cache disk hit)" with the program cache's disk-hit counter
+// ticking instead of the compiler. Codegen fallbacks print their named reason
+// inline on the span's tier line.
+//
 // It then runs the cost-based optimizer: the ranked candidate table shows each
 // enumerated plan's *estimated* virtual-time cost next to its *measured*
 // virtual time (every candidate is executed), with the picked plan marked.
@@ -26,6 +33,7 @@
 #include "core/graph_builder.h"
 #include "core/program_cache.h"
 #include "core/system.h"
+#include "jit/kernel_cache.h"
 #include "plan/het_plan.h"
 #include "plan/optimizer.h"
 #include "ssb/ssb.h"
@@ -34,11 +42,53 @@ using namespace hetex;  // NOLINT — example brevity
 
 namespace {
 
+const char* TierName(jit::ExecTier tier) {
+  switch (tier) {
+    case jit::ExecTier::kInterpreter: return "0-interpreter";
+    case jit::ExecTier::kVectorized: return "1-vectorized";
+    case jit::ExecTier::kNative: return "2-native";
+  }
+  return "?";
+}
+
+/// Escapes a string for embedding in a JSON literal (tier reasons carry
+/// compiler stderr, which has newlines and may quote paths).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One span's live tier decision, for the human table and the JSON report.
+struct SpanTier {
+  std::string span;    // "build customer", "fact probe", ...
+  std::string tier;    // TierName of the effective tier
+  std::string reason;  // EffectiveTierReason(): tier line + any fallback reason
+};
+
 /// Compiles every span of a lowered plan through the system's per-device
 /// program cache (as each of its worker instances would at Init) and prints the
 /// tier ConvertToMachineCode picked plus the cache traffic per span.
 void ReportSpanTiers(core::System& system, const core::GraphBuilder& builder,
-                     const plan::QuerySpec& query) {
+                     const plan::QuerySpec& query,
+                     std::vector<SpanTier>* out = nullptr, bool print = true) {
   const core::LoweredSpec& spec = builder.spec();
   core::QueryCompiler compiler(query, system.catalog(), system.cost_model());
   core::ProgramCache& cache = system.program_cache();
@@ -47,32 +97,48 @@ void ReportSpanTiers(core::System& system, const core::GraphBuilder& builder,
                           const core::CompiledPipeline& pipeline) {
     const auto before_cpu = cache.counters(sim::DeviceType::kCpu);
     const auto before_gpu = cache.counters(sim::DeviceType::kGpu);
-    std::string tier = "?";
+    std::shared_ptr<const jit::PipelineProgram> program;
     for (const auto& dev : stage.instances) {
       auto provider = system.MakeProvider(dev);
       auto r = cache.GetOrCompile(*provider, pipeline);
       if (!r.ok()) {
-        std::printf("  %s %s: compile failed: %s\n", label,
-                    core::PipelineSpan::RoleName(stage.span.role),
-                    r.status().ToString().c_str());
+        if (print) {
+          std::printf("  %s %s: compile failed: %s\n", label,
+                      core::PipelineSpan::RoleName(stage.span.role),
+                      r.status().ToString().c_str());
+        }
         return;
       }
-      tier = r.value()->tier_reason;
+      program = r.value();
     }
+    // Let background tier-2 compiles settle so the report shows the tier the
+    // next block would actually execute at, not a transient "pending".
+    if (system.kernel_cache() != nullptr) system.kernel_cache()->WaitIdle();
     const auto after_cpu = cache.counters(sim::DeviceType::kCpu);
     const auto after_gpu = cache.counters(sim::DeviceType::kGpu);
-    std::printf(
-        "  %s %s x%zu: tier=%s cache[cpu +%llu hit/+%llu miss, gpu +%llu "
-        "hit/+%llu miss]\n",
-        label, core::PipelineSpan::RoleName(stage.span.role),
-        stage.instances.size(), tier.c_str(),
-        static_cast<unsigned long long>(after_cpu.hits - before_cpu.hits),
-        static_cast<unsigned long long>(after_cpu.misses - before_cpu.misses),
-        static_cast<unsigned long long>(after_gpu.hits - before_gpu.hits),
-        static_cast<unsigned long long>(after_gpu.misses - before_gpu.misses));
+    const std::string span_name =
+        std::string(label) + " " + core::PipelineSpan::RoleName(stage.span.role);
+    if (out != nullptr) {
+      out->push_back({span_name, TierName(program->EffectiveTier()),
+                      program->EffectiveTierReason()});
+    }
+    if (print) {
+      std::printf(
+          "  %s x%zu: tier=%s (%s) cache[cpu +%llu hit/+%llu miss/+%llu disk, "
+          "gpu +%llu hit/+%llu miss/+%llu disk]\n",
+          span_name.c_str(), stage.instances.size(),
+          TierName(program->EffectiveTier()),
+          program->EffectiveTierReason().c_str(),
+          static_cast<unsigned long long>(after_cpu.hits - before_cpu.hits),
+          static_cast<unsigned long long>(after_cpu.misses - before_cpu.misses),
+          static_cast<unsigned long long>(after_cpu.disk_hits - before_cpu.disk_hits),
+          static_cast<unsigned long long>(after_gpu.hits - before_gpu.hits),
+          static_cast<unsigned long long>(after_gpu.misses - before_gpu.misses),
+          static_cast<unsigned long long>(after_gpu.disk_hits - before_gpu.disk_hits));
+    }
   };
 
-  std::printf("span tiers + program cache:\n");
+  if (print) std::printf("span tiers + program cache:\n");
   for (const auto& stage : spec.build_stages) {
     report_stage(stage, "build", compiler.CompileSpan(stage.span, nullptr));
   }
@@ -80,12 +146,26 @@ void ReportSpanTiers(core::System& system, const core::GraphBuilder& builder,
   std::vector<core::CompiledPipeline> pipelines;
   const Status st = builder.CompileFactPipelines(&compiler, &pipelines);
   if (!st.ok()) {
-    std::printf("  fact chain: %s\n", st.ToString().c_str());
+    if (print) std::printf("  fact chain: %s\n", st.ToString().c_str());
     return;
   }
   for (size_t i = 0; i < pipelines.size(); ++i) {
     report_stage(spec.fact_stages[i], "fact", pipelines[i]);
   }
+}
+
+/// Lowers the query under the hybrid policy and collects its spans' live tier
+/// decisions (the JSON report's "spans" array).
+std::vector<SpanTier> CollectSpanTiers(core::System& system,
+                                       const plan::QuerySpec& query) {
+  std::vector<SpanTier> tiers;
+  const plan::HetPlan plan =
+      plan::BuildHetPlan(query, plan::ExecPolicy::Hybrid(8), system.topology());
+  if (!plan::ValidateHetPlan(plan).ok()) return tiers;
+  core::GraphBuilder builder(&system, &plan);
+  if (!builder.Analyze().ok()) return tiers;
+  ReportSpanTiers(system, builder, query, &tiers, /*print=*/false);
+  return tiers;
 }
 
 /// Optimizer section: enumerate → cost → rank, then execute every candidate to
@@ -125,9 +205,16 @@ bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
   }
 
   if (json) {
-    std::printf("%s{\"query\": \"%s\", \"picked\": \"%s\", \"candidates\": [",
+    std::printf("%s{\"query\": \"%s\", \"picked\": \"%s\",\n\"spans\": [",
                 first_json ? "" : ",\n", spec.name.c_str(),
                 opt.best().label.c_str());
+    const std::vector<SpanTier> tiers = CollectSpanTiers(system, spec);
+    for (size_t i = 0; i < tiers.size(); ++i) {
+      std::printf("%s\n  {\"span\": \"%s\", \"tier\": \"%s\", \"reason\": \"%s\"}",
+                  i == 0 ? "" : ",", JsonEscape(tiers[i].span).c_str(),
+                  tiers[i].tier.c_str(), JsonEscape(tiers[i].reason).c_str());
+    }
+    std::printf("\n],\n\"candidates\": [");
     for (size_t i = 0; i < rows.size(); ++i) {
       std::printf("%s\n  {\"label\": \"%s\", \"estimated\": %.9f, "
                   "\"measured\": %.9f, \"chosen\": %s}",

@@ -4,6 +4,14 @@
 //
 // This is the paper's bandwidth-bound microbenchmark (§6.4, Fig. 7 top) in ~60
 // lines of API use.
+//
+// Benchmarking tip — warm the tier-2 kernel cache first: with
+// HETEX_KERNEL_DIR=<dir> set, pipelines tier up to JIT-compiled native
+// kernels, but the *first* run of each span shape pays an out-of-process
+// compile (~100ms each; the vectorizer serves meanwhile, so results are
+// unaffected — only timings). Run the binary once to populate the directory,
+// then measure: every later run (and every server restart) installs the
+// kernels from disk with zero compiler invocations.
 
 #include <algorithm>
 #include <cstdio>

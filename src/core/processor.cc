@@ -63,6 +63,12 @@ void VmProcessor::Init(WorkerInstance& inst) {
   } else {
     auto local =
         std::make_shared<jit::PipelineProgram>(cfg_->pipeline.program);
+    local->input_widths.clear();
+    local->input_widths.reserve(cfg_->pipeline.input_cols.size());
+    for (const ColSlot& slot : cfg_->pipeline.input_cols) {
+      local->input_widths.push_back(slot.width);
+    }
+    local->n_input_cols = static_cast<int>(cfg_->pipeline.input_cols.size());
     Status st = inst.provider().ConvertToMachineCode(local.get());
     if (!st.ok()) {
       inst.NoteError(std::move(st));

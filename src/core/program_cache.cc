@@ -1,6 +1,7 @@
 #include "core/program_cache.h"
 
 #include "common/hash.h"
+#include "jit/codegen.h"
 
 namespace hetex::core {
 
@@ -67,10 +68,9 @@ Result<std::shared_ptr<const jit::PipelineProgram>> ProgramCache::GetOrCompile(
   const int kind = static_cast<int>(provider.type());
   // The tier policy is part of the compiled artifact (it decides which tier
   // ConvertToMachineCode installs), so it is part of the key: a forced-
-  // interpreter provider must never be served a vectorized-tier cache hit.
-  const int keyed_kind =
-      kind * 2 +
-      (provider.tier_policy() == jit::TierPolicy::kForceInterpreter ? 1 : 0);
+  // interpreter provider must never be served a vectorized- or native-tier
+  // cache hit, and vice versa.
+  const int keyed_kind = kind * 4 + static_cast<int>(provider.tier_policy());
   const uint64_t sig = Signature(pipeline);
   const auto key = std::make_pair(keyed_kind, sig);
 
@@ -83,9 +83,21 @@ Result<std::shared_ptr<const jit::PipelineProgram>> ProgramCache::GetOrCompile(
     }
   }
 
-  // Miss: finalize once; every instance of the span shares the result.
+  // Miss: finalize once; every instance of the span shares the result. The
+  // binding schema travels with the program so the tier-2 codegen can
+  // specialize column loads to the widths the runtime will bind.
   auto compiled = std::make_shared<jit::PipelineProgram>(pipeline.program);
+  compiled->input_widths.clear();
+  compiled->input_widths.reserve(pipeline.input_cols.size());
+  for (const ColSlot& slot : pipeline.input_cols) {
+    compiled->input_widths.push_back(slot.width);
+  }
+  compiled->n_input_cols = static_cast<int>(pipeline.input_cols.size());
   HETEX_RETURN_NOT_OK(provider.ConvertToMachineCode(compiled.get()));
+  if (compiled->native != nullptr && compiled->native->ready() &&
+      compiled->native->origin == jit::NativeKernel::Origin::kDisk) {
+    ++counters_[kind].disk_hits;
+  }
   Entry e;
   e.code = pipeline.program.code;
   e.label = pipeline.program.label;

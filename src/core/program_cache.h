@@ -25,8 +25,11 @@ namespace hetex::core {
 class ProgramCache {
  public:
   struct Counters {
-    uint64_t hits = 0;
-    uint64_t misses = 0;  ///< one finalization per miss
+    uint64_t hits = 0;      ///< in-process hits: program already finalized here
+    uint64_t misses = 0;    ///< one finalization per miss
+    uint64_t disk_hits = 0; ///< misses whose tier-2 kernel loaded from the
+                            ///< on-disk kernel cache (zero compiler invocations
+                            ///< — the observable restart-reuse signal)
   };
 
   /// Returns the finalized program for `pipeline` on `provider`'s device kind,

@@ -14,6 +14,9 @@ System::System(Options options)
     gpus_.push_back(
         std::make_unique<sim::GpuDevice>(topology_.gpu(g), &topology_.cost_model()));
   }
+  if (options.codegen.enabled) {
+    kernel_cache_ = std::make_unique<jit::KernelCache>(options.codegen);
+  }
 }
 
 std::unique_ptr<jit::DeviceProvider> System::MakeProvider(sim::DeviceId device) {
@@ -26,6 +29,7 @@ std::unique_ptr<jit::DeviceProvider> System::MakeProvider(sim::DeviceId device) 
                                                   &topology_, &memory_, &blocks_);
   }
   provider->set_tier_policy(tier_policy_);
+  provider->set_kernel_cache(kernel_cache_.get());
   return provider;
 }
 

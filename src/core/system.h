@@ -8,6 +8,7 @@
 #include "core/ht_registry.h"
 #include "core/program_cache.h"
 #include "jit/device_provider.h"
+#include "jit/kernel_cache.h"
 #include "memory/block_manager.h"
 #include "memory/memory_manager.h"
 #include "sim/dma_engine.h"
@@ -29,9 +30,14 @@ class System {
     sim::Topology::Options topology;
     memory::BlockRegistry::Options blocks;
     /// JIT tier selection for every provider this system creates. kAuto picks
-    /// the vectorized batch tier when a program's shape allows it; parity
-    /// suites pin kForceInterpreter to diff the two tiers.
+    /// the best tier a program's shape allows (native when codegen is enabled,
+    /// else vectorized); parity suites pin kForceInterpreter /
+    /// kForceVectorized to diff the tiers.
     jit::TierPolicy tier_policy = jit::TierPolicy::kAuto;
+    /// Tier-2 codegen configuration. Defaults to the environment knobs
+    /// (HETEX_KERNEL_DIR / HETEX_COMPILER_CMD / HETEX_TIER2); codegen is
+    /// off unless enabled there or here.
+    jit::CodegenOptions codegen = jit::CodegenOptions::FromEnv();
   };
 
   System();  // default Options
@@ -51,6 +57,10 @@ class System {
   /// (see ProgramCache).
   ProgramCache& program_cache() { return program_cache_; }
   jit::TierPolicy tier_policy() const { return tier_policy_; }
+
+  /// Tier-2 kernel cache (null when codegen is disabled). Owns the compile
+  /// pool and the persistent on-disk .cc/.so store shared by all providers.
+  jit::KernelCache* kernel_cache() { return kernel_cache_.get(); }
 
   /// Join hash tables of every in-flight query, namespaced by query id
   /// (see HtRegistry).
@@ -89,6 +99,7 @@ class System {
   std::vector<std::unique_ptr<sim::GpuDevice>> gpus_;
   storage::Catalog catalog_;
   ProgramCache program_cache_;
+  std::unique_ptr<jit::KernelCache> kernel_cache_;
   HtRegistry hts_;
   jit::TierPolicy tier_policy_ = jit::TierPolicy::kAuto;
   std::atomic<uint64_t> next_query_id_{1};

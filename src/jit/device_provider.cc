@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "jit/codegen.h"
+#include "jit/kernel_cache.h"
 #include "jit/vectorizer.h"
 
 namespace hetex::jit {
@@ -169,17 +171,40 @@ Status DeviceProvider::ConvertToMachineCode(PipelineProgram* program) {
   // interpreter for shapes the vectorizer cannot prove.
   program->tier = ExecTier::kInterpreter;
   program->vec.reset();
-  if (tier_policy_ == TierPolicy::kAuto) {
-    VectorizeResult vec = TryVectorize(*program);
-    if (vec.program != nullptr) {
-      program->tier = ExecTier::kVectorized;
-      program->vec = std::move(vec.program);
-      program->tier_reason = "vectorized";
-    } else {
-      program->tier_reason = "interpreter: " + vec.reason;
-    }
-  } else {
+  program->native.reset();
+  if (tier_policy() == TierPolicy::kForceInterpreter) {
     program->tier_reason = "interpreter: tier policy forces tier 0";
+    return Status::OK();
+  }
+
+  VectorizeResult vec = TryVectorize(*program);
+  if (vec.program != nullptr) {
+    program->tier = ExecTier::kVectorized;
+    program->vec = std::move(vec.program);
+    program->tier_reason = "vectorized";
+  } else {
+    program->tier_reason = "interpreter: " + vec.reason;
+  }
+  if (tier_policy() == TierPolicy::kForceVectorized) {
+    program->tier_reason += " (tier policy caps at tier 1)";
+    return Status::OK();
+  }
+
+  // Tier 2: hand the program to the C++ codegen backend when a kernel cache is
+  // attached. Unprovable shapes and compile failures fall back to the tier
+  // chosen above with a counted, named reason; a still-compiling kernel serves
+  // that tier too until Run() observes the published entry point.
+  if (KernelCache* cache = kernel_cache(); cache != nullptr) {
+    GenerateResult gen = GenerateSource(*program);
+    if (gen.source.empty()) {
+      program->tier_reason += "; codegen fallback: " + gen.reason;
+    } else {
+      program->native = cache->GetOrBuild(gen, program->label);
+      if (program->native->ready()) {
+        program->tier = ExecTier::kNative;
+        program->tier_reason = program->EffectiveTierReason();
+      }
+    }
   }
   return Status::OK();
 }

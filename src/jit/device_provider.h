@@ -16,6 +16,8 @@
 
 namespace hetex::jit {
 
+class KernelCache;
+
 /// \brief One pipeline execution request: a block of rows to push through a
 /// compiled program, together with the pipeline's bound state.
 struct ExecRequest {
@@ -89,7 +91,10 @@ class DeviceProvider {
   ///
   /// Validates the code (ValidateProgram), then attempts to lower it to the
   /// vectorized batch tier; program shapes the vectorizer cannot prove fall
-  /// back to the row interpreter (tracked and logged, never silent). Mirrors IR
+  /// back to the row interpreter (tracked and logged, never silent). When a
+  /// kernel cache is attached (tier 2 enabled), the program is additionally
+  /// handed to the C++ codegen backend: the compiled kernel hot-swaps in once
+  /// ready, with the tier chosen here serving until then. Mirrors IR
   /// verification + backend lowering.
   virtual Status ConvertToMachineCode(PipelineProgram* program);
 
@@ -100,10 +105,16 @@ class DeviceProvider {
   /// The memory manager backing AllocStateVar.
   virtual memory::MemoryManager& memory_manager() = 0;
 
-  /// Tier selection override (kForceInterpreter pins tier 0 — used by the
-  /// differential parity suites and benchmarks).
+  /// Tier selection override (kForceInterpreter pins tier 0, kForceVectorized
+  /// caps at tier 1 — used by the differential parity suites and benchmarks).
   void set_tier_policy(TierPolicy policy) { tier_policy_ = policy; }
   TierPolicy tier_policy() const { return tier_policy_; }
+
+  /// Attaches the tier-2 kernel cache (null = codegen disabled). Owned by the
+  /// System; shared by all providers so kernels dedup across devices — the
+  /// generated source is device-independent (atomicity is a runtime argument).
+  void set_kernel_cache(KernelCache* cache) { kernel_cache_ = cache; }
+  KernelCache* kernel_cache() const { return kernel_cache_; }
 
   /// Absolute virtual arrival time of the query session this provider executes
   /// for. All ExecRequest/ExecResult times stay session-local; the epoch anchors
@@ -121,6 +132,7 @@ class DeviceProvider {
 
  private:
   TierPolicy tier_policy_ = TierPolicy::kAuto;
+  KernelCache* kernel_cache_ = nullptr;
   sim::VTime session_epoch_ = 0.0;
   uint64_t session_id_ = 0;
 };

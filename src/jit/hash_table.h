@@ -123,6 +123,16 @@ class JoinHashTable {
   /// model (cache-resident dimension tables probe fast; DRAM-sized ones do not).
   uint64_t bytes() const { return bytes_; }
 
+  /// Raw layout accessors for the tier-2 codegen backend, which unrolls probe
+  /// loops into inline bucket-chain walks over these arrays (jit/codegen.cc).
+  /// `raw_heads()` is bit-compatible with a plain int64_t array (asserted at
+  /// the single cast site); entries are `stride()` int64 slots each:
+  /// [key, next, payload...].
+  const std::atomic<int64_t>* raw_heads() const { return heads_; }
+  const int64_t* raw_entries() const { return entries_; }
+  uint64_t bucket_mask() const { return bucket_mask_; }
+  uint64_t stride() const { return stride_; }
+
  private:
   const int64_t* EntryAt(int64_t i) const {
     return entries_ + static_cast<uint64_t>(i) * stride_;

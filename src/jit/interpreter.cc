@@ -1,6 +1,7 @@
 #include "jit/interpreter.h"
 
 #include "common/hash.h"
+#include "jit/codegen.h"
 #include "jit/vectorizer.h"
 
 namespace hetex::jit {
@@ -159,6 +160,12 @@ done:
 }
 
 Status Run(const PipelineProgram& program, ExecCtx& ctx, uint64_t rows) {
+  // Tier-up check: a background compile publishes the native entry point with
+  // a release store; observing it here (acquire) hot-swaps execution to the
+  // compiled kernel without blocking any query on the compiler.
+  if (program.native != nullptr && program.native->ready()) {
+    return RunNative(program, ctx, rows);
+  }
   if (program.tier == ExecTier::kVectorized && program.vec != nullptr) {
     return RunRowsVectorized(program, ctx, rows);
   }

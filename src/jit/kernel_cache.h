@@ -1,0 +1,106 @@
+#ifndef HETEX_JIT_KERNEL_CACHE_H_
+#define HETEX_JIT_KERNEL_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "jit/codegen.h"
+
+namespace hetex::jit {
+
+/// \brief Compiles generated tier-2 sources out of process and keeps the
+/// resulting shared objects — in memory for this process, and on disk across
+/// processes.
+///
+/// Layout of the kernel directory (one triple per kernel signature):
+///   hx_<sig>.cc    the generated translation unit (content-addressed: <sig>
+///                  is the FNV-1a hash of this exact text)
+///   hx_<sig>.so    the compiled shared object
+///   hx_<sig>.meta  verification sidecar: ABI version, source hash/size,
+///                  object hash/size
+///   hx_<sig>.log   compiler stderr of the last build (diagnostics only)
+///
+/// A load from disk re-verifies everything against the source the engine just
+/// generated: ABI version, source hash, object size and object hash. Stale,
+/// truncated or corrupted objects are rejected (counted) and recompiled —
+/// never loaded. On a warm directory a fresh process therefore installs every
+/// kernel with zero compiler invocations.
+///
+/// Compilation runs on a small background pool (async mode): GetOrBuild
+/// returns a pending NativeKernel immediately, the program serves its fallback
+/// tier, and the worker publishes the ready state when the object is loaded —
+/// first-query latency never blocks on the compiler. Requests for the same
+/// signature coalesce onto one in-flight compile.
+class KernelCache {
+ public:
+  /// Per-cache accounting. `disk_hits` vs `in_process_hits` vs `compiles` is
+  /// what makes restart reuse observable instead of inferred.
+  struct Counters {
+    uint64_t requests = 0;
+    uint64_t in_process_hits = 0;      ///< signature already resident
+    uint64_t disk_hits = 0;            ///< loaded from the kernel dir, no compile
+    uint64_t compiles = 0;             ///< build jobs actually run
+    uint64_t compiler_invocations = 0; ///< out-of-process compiler executions
+    uint64_t compile_failures = 0;     ///< compiler/dlopen failures
+    uint64_t rejected_objects = 0;     ///< stale/corrupt objects refused by verify
+  };
+
+  explicit KernelCache(CodegenOptions options);
+  ~KernelCache();
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  const CodegenOptions& options() const { return options_; }
+
+  /// Returns the kernel for a generated source, starting a build if this is
+  /// the first time the signature is seen. The result may still be pending
+  /// (async mode); callers poll `ready()` — programs do so implicitly via
+  /// Run()'s tier-up check. Never returns null.
+  std::shared_ptr<NativeKernel> GetOrBuild(const GenerateResult& gen,
+                                           const std::string& label);
+
+  /// Blocks until no build is queued or running (tests and benchmarks).
+  void WaitIdle();
+
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::string source;  ///< full text — signature collisions chain, never alias
+    std::shared_ptr<NativeKernel> kernel;
+  };
+
+  void Build(const std::shared_ptr<NativeKernel>& kernel,
+             const std::string& source);
+  bool TryLoadFromDisk(NativeKernel* kernel, const std::string& source);
+  bool CompileToDisk(NativeKernel* kernel, const std::string& source);
+  bool LoadObject(NativeKernel* kernel, const std::string& so_path,
+                  std::string* error);
+  std::string Stem(uint64_t signature) const;
+  void WorkerLoop();
+
+  CodegenOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_;
+  Counters counters_;
+  std::deque<std::function<void()>> queue_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  int inflight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hetex::jit
+
+#endif  // HETEX_JIT_KERNEL_CACHE_H_

@@ -71,19 +71,24 @@ inline constexpr int kMaxHtSlots = 16;
 
 /// \brief Execution tier a finalized program was lowered to.
 ///
-/// `ConvertToMachineCode` is the tiering point: it validates the program, then
-/// attempts to lower it to the vectorized batch backend; shapes the vectorizer
-/// cannot prove fall back to the row interpreter (tracked and logged).
+/// `ConvertToMachineCode` is the tiering point: it validates the program,
+/// attempts to lower it to the vectorized batch backend, and (when a kernel
+/// cache is configured) hands the program to the tier-2 codegen backend, which
+/// emits a specialized C++ translation unit, compiles it out of process and
+/// dlopens the result. Shapes a backend cannot prove fall back one tier down
+/// (tracked and logged, never silent).
 enum class ExecTier : uint8_t {
   kInterpreter,  ///< per-tuple switch-dispatch bytecode loop (tier 0)
   kVectorized,   ///< fused batch primitives over selection vectors (tier 1)
+  kNative,       ///< JIT-compiled native kernel, dlopen-ed from the kernel cache (tier 2)
 };
 
-/// Tier selection policy of a provider (set system-wide; tests force tier 0 to
-/// run differential parity suites against the vectorized tier).
-enum class TierPolicy : uint8_t { kAuto, kForceInterpreter };
+/// Tier selection policy of a provider (set system-wide; parity suites pin
+/// tier 0 / tier 1 to diff them against the auto-tiered run).
+enum class TierPolicy : uint8_t { kAuto, kForceInterpreter, kForceVectorized };
 
 struct VectorProgram;  // defined in jit/vectorizer.h
+struct NativeKernel;   // defined in jit/codegen.h
 
 /// \brief A fused, device-agnostic pipeline program plus its state metadata.
 ///
@@ -100,11 +105,29 @@ struct PipelineProgram {
   bool finalized = false;   ///< set by DeviceProvider::ConvertToMachineCode
   std::string label;        ///< for plan/debug printing
 
-  // Set by ConvertToMachineCode (the tiering point). Both tiers produce
+  /// Binding schema: byte width of each input column the runtime will bind
+  /// positionally. Filled by the ProgramCache (and the uncached processor
+  /// path) before finalization; the tier-2 codegen specializes column loads to
+  /// these widths, and programs without them fall back with a named reason.
+  std::vector<uint32_t> input_widths;
+
+  // Set by ConvertToMachineCode (the tiering point). All tiers produce
   // identical results and identical CostStats; only the harness speed differs.
   ExecTier tier = ExecTier::kInterpreter;
   std::shared_ptr<const VectorProgram> vec;  ///< non-null iff tier == kVectorized
-  std::string tier_reason;  ///< "vectorized" or the vectorizer's fallback reason
+  std::string tier_reason;  ///< finalize-time tier decision + fallback reason
+
+  /// Tier-2 kernel handle (null when codegen is off or fell back). The kernel
+  /// may still be compiling in the background: Run() serves `tier` until the
+  /// kernel publishes ready, then hot-swaps to the native entry point — the
+  /// tier-up never blocks a query on the compiler.
+  std::shared_ptr<NativeKernel> native;
+
+  /// The tier execution would dispatch to right now (native once the
+  /// background compile has published, the finalize-time tier before that).
+  ExecTier EffectiveTier() const;
+  /// Human-readable tier line reflecting the live native state.
+  std::string EffectiveTierReason() const;
 
   std::string ToString() const;
 };

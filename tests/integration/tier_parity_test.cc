@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "jit/codegen.h"
+#include "jit/kernel_cache.h"
 #include "jit/vectorizer.h"
 #include "test_util.h"
 
@@ -7,18 +14,19 @@ namespace hetex {
 namespace {
 
 /// Differential tier suite: every SSB query, fused and split, on CPU and GPU
-/// placements, executed once through the row interpreter (tier 0 forced) and
-/// once through the vectorized batch backend (auto tiering), asserting
-/// identical query results AND identical CostStats — the invariant that makes
-/// the vectorized tier safe: the simulation is unchanged, only the harness is
-/// faster.
+/// placements, executed through the row interpreter (tier 0 forced), the
+/// vectorized batch backend (tier 1 forced) and the native codegen backend
+/// (tier 2: auto tiering with a kernel cache attached), asserting identical
+/// query results AND identical CostStats across all three — the invariant that
+/// makes the faster tiers safe: the simulation is unchanged, only the harness
+/// is faster.
 ///
 /// Placements are deterministic (DOP-1 stages, a single GPU simulated by one
-/// worker thread, round-robin routing) so the two runs see identical block
+/// worker thread, round-robin routing) so the runs see identical block
 /// streams and hash-table layouts; any stats divergence is a tier bug, not
 /// scheduling noise.
 struct ParityEnv {
-  explicit ParityEnv(jit::TierPolicy policy) {
+  explicit ParityEnv(jit::TierPolicy policy, bool codegen = false) {
     core::System::Options opts;
     opts.topology.num_sockets = 2;
     opts.topology.cores_per_socket = 2;
@@ -30,6 +38,14 @@ struct ParityEnv {
     opts.blocks.host_arena_blocks = 256;
     opts.blocks.gpu_arena_blocks = 128;
     opts.tier_policy = policy;
+    opts.codegen.enabled = codegen;
+    if (codegen) {
+      // Synchronous compiles into a per-process directory: every pipeline the
+      // matrix touches really executes natively (no pending-tier serving), and
+      // parallel test runs cannot race on each other's objects.
+      opts.codegen.async = false;
+      opts.codegen.kernel_dir = KernelDir();
+    }
     system = std::make_unique<core::System>(opts);
 
     ssb::Ssb::Options ssb_opts;
@@ -40,6 +56,18 @@ struct ParityEnv {
       HETEX_CHECK_OK(
           system->catalog().at(name).Place(system->HostNodes(), &system->memory()));
     }
+  }
+
+  static const std::string& KernelDir() {
+    static const std::string dir = [] {
+      const std::string d = (std::filesystem::temp_directory_path() /
+                             ("hetex-parity-kernels-" +
+                              std::to_string(static_cast<long>(::getpid()))))
+                                .string();
+      std::filesystem::remove_all(d);
+      return d;
+    }();
+    return dir;
   }
 
   core::QueryResult Run(const plan::QuerySpec& spec, plan::ExecPolicy policy) {
@@ -66,7 +94,12 @@ class TierParityTest : public ::testing::TestWithParam<ParityCase> {
     return env;
   }
   static ParityEnv* vec_env() {
-    static ParityEnv* env = new ParityEnv(jit::TierPolicy::kAuto);
+    static ParityEnv* env = new ParityEnv(jit::TierPolicy::kForceVectorized);
+    return env;
+  }
+  static ParityEnv* native_env() {
+    static ParityEnv* env =
+        new ParityEnv(jit::TierPolicy::kAuto, /*codegen=*/true);
     return env;
   }
 
@@ -83,32 +116,43 @@ TEST_P(TierParityTest, IdenticalResultsAndCostStats) {
   const auto& c = GetParam();
   const auto spec_i = interp_env()->ssb->Query(c.flight, c.idx);
   const auto spec_v = vec_env()->ssb->Query(c.flight, c.idx);
+  const auto spec_n = native_env()->ssb->Query(c.flight, c.idx);
   const plan::ExecPolicy policy = PolicyFor(c.mode);
 
-  const jit::VectorizerCounters before = jit::GetVectorizerCounters();
+  const jit::VectorizerCounters vbefore = jit::GetVectorizerCounters();
+  const jit::CodegenCounters cbefore = jit::GetCodegenCounters();
   const auto interp = interp_env()->Run(spec_i, policy);
   const auto vec = vec_env()->Run(spec_v, policy);
-  const jit::VectorizerCounters after = jit::GetVectorizerCounters();
+  const auto native = native_env()->Run(spec_n, policy);
+  const jit::VectorizerCounters vafter = jit::GetVectorizerCounters();
+  const jit::CodegenCounters cafter = jit::GetCodegenCounters();
 
   ASSERT_TRUE(interp.status.ok()) << interp.status.ToString();
   ASSERT_TRUE(vec.status.ok()) << vec.status.ToString();
+  ASSERT_TRUE(native.status.ok()) << native.status.ToString();
 
   // Identical results.
   EXPECT_EQ(interp.rows, vec.rows) << spec_i.name;
+  EXPECT_EQ(interp.rows, native.rows) << spec_i.name;
 
-  // Identical CostStats, field by field.
-  EXPECT_EQ(interp.stats.tuples, vec.stats.tuples);
-  EXPECT_EQ(interp.stats.ops, vec.stats.ops);
-  EXPECT_EQ(interp.stats.bytes_read, vec.stats.bytes_read);
-  EXPECT_EQ(interp.stats.bytes_written, vec.stats.bytes_written);
-  EXPECT_EQ(interp.stats.atomics, vec.stats.atomics);
-  EXPECT_EQ(interp.stats.near_accesses, vec.stats.near_accesses);
-  EXPECT_EQ(interp.stats.mid_accesses, vec.stats.mid_accesses);
-  EXPECT_EQ(interp.stats.far_accesses, vec.stats.far_accesses);
+  // Identical CostStats, field by field, tier 0 vs tier 1 vs tier 2.
+  for (const auto* other : {&vec, &native}) {
+    EXPECT_EQ(interp.stats.tuples, other->stats.tuples);
+    EXPECT_EQ(interp.stats.ops, other->stats.ops);
+    EXPECT_EQ(interp.stats.bytes_read, other->stats.bytes_read);
+    EXPECT_EQ(interp.stats.bytes_written, other->stats.bytes_written);
+    EXPECT_EQ(interp.stats.atomics, other->stats.atomics);
+    EXPECT_EQ(interp.stats.near_accesses, other->stats.near_accesses);
+    EXPECT_EQ(interp.stats.mid_accesses, other->stats.mid_accesses);
+    EXPECT_EQ(interp.stats.far_accesses, other->stats.far_accesses);
+  }
 
-  // The suite is not vacuous: the auto-tier run actually vectorized pipelines
-  // (cache hits aside) and nothing silently fell back to the interpreter.
-  EXPECT_EQ(after.fallbacks, before.fallbacks) << "unexpected vectorizer fallback";
+  // The suite is not vacuous: nothing silently fell back — neither the
+  // vectorizer (tiers 1 and 2 both lower through it first) nor the codegen
+  // backend (every SSB span shape must prove compilable, and no compile may
+  // fail).
+  EXPECT_EQ(vafter.fallbacks, vbefore.fallbacks) << "unexpected vectorizer fallback";
+  EXPECT_EQ(cafter.fallbacks, cbefore.fallbacks) << "unexpected codegen fallback";
 }
 
 std::vector<ParityCase> AllCases() {
@@ -145,6 +189,43 @@ TEST(TierParitySummary, VectorizedTierWasExercised) {
   const auto cache = env->system->program_cache().counters(sim::DeviceType::kCpu);
   EXPECT_GT(cache.misses, 0u);
   delete env;
+}
+
+/// The native environment really executed compiled kernels: sources were
+/// generated, objects installed, and blocks dispatched through dlopen-ed entry
+/// points — not silently served by a lower tier.
+TEST(TierParitySummary, NativeTierWasExercised) {
+  const jit::CodegenCounters before = jit::GetCodegenCounters();
+  core::System::Options opts;
+  opts.topology.num_sockets = 1;
+  opts.topology.cores_per_socket = 2;
+  opts.topology.num_gpus = 0;
+  opts.codegen.enabled = true;
+  opts.codegen.async = false;
+  opts.codegen.kernel_dir = ParityEnv::KernelDir();
+  auto system = std::make_unique<core::System>(opts);
+  ssb::Ssb::Options ssb_opts;
+  ssb_opts.lineorder_rows = 20'000;
+  ssb_opts.scale = 0.002;
+  ssb::Ssb ssb(ssb_opts, &system->catalog());
+  for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+    HETEX_CHECK_OK(
+        system->catalog().at(name).Place(system->HostNodes(), &system->memory()));
+  }
+  plan::ExecPolicy policy = plan::ExecPolicy::CpuOnly(1);
+  policy.block_rows = 4096;
+  core::QueryExecutor executor(system.get());
+  auto result = executor.Execute(ssb.Query(2, 1), policy);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  const jit::CodegenCounters after = jit::GetCodegenCounters();
+  EXPECT_GT(after.generated, before.generated);
+  EXPECT_GT(after.native_invocations, before.native_invocations);
+  EXPECT_EQ(after.fallbacks, before.fallbacks);
+  // The kernel cache counters agree: every request was served resident, from
+  // disk, or by a successful compile.
+  const auto kc = system->kernel_cache()->counters();
+  EXPECT_GT(kc.requests, 0u);
+  EXPECT_EQ(kc.compile_failures, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,368 @@
+#include "jit/kernel_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "jit/codegen.h"
+#include "jit/interpreter.h"
+#include "jit/program.h"
+#include "test_util.h"
+
+namespace hetex::jit {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A per-test, per-process kernel directory: tests exercise the disk cache
+/// hermetically and parallel ctest invocations cannot share objects.
+std::string FreshDir(const std::string& tag) {
+  const fs::path d = fs::temp_directory_path() /
+                     ("hetex-kc-test-" + tag + "-" +
+                      std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(d);
+  return d.string();
+}
+
+CodegenOptions SyncOptions(const std::string& tag) {
+  CodegenOptions opts;
+  opts.enabled = true;
+  opts.async = false;  // GetOrBuild returns a settled kernel
+  opts.kernel_dir = FreshDir(tag);
+  return opts;
+}
+
+/// filter + arithmetic + hash + emit: enough shape to exercise constant
+/// folding, the filter early-out and the emit hook in generated code.
+PipelineProgram FilterMathProgram() {
+  ProgramBuilder b;
+  const int x = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, x, 0);
+  const int y = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, y, 1);
+  const int lim = b.AllocReg();
+  b.EmitOp(OpCode::kConst, lim, 0, 0, 0, 50);
+  const int keep = b.AllocReg();
+  b.EmitOp(OpCode::kCmpLt, keep, x, lim);
+  b.EmitOp(OpCode::kFilter, keep);
+  const int sum = b.AllocReg();
+  b.EmitOp(OpCode::kAdd, sum, x, y);
+  const int h = b.AllocReg();
+  b.EmitOp(OpCode::kHash, h, sum);
+  const int mixed = b.AllocReg();
+  b.EmitOp(OpCode::kAdd, mixed, sum, h);
+  b.EmitOp(OpCode::kEmit, mixed, 1);
+  PipelineProgram p = b.Finalize("kc-filter-math");
+  p.n_input_cols = 2;
+  p.input_widths = {8, 8};
+  p.finalized = true;  // unit test drives the backends directly
+  return p;
+}
+
+PipelineProgram DivProgram() {
+  ProgramBuilder b;
+  const int x = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, x, 0);
+  const int y = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, y, 1);
+  const int q = b.AllocReg();
+  b.EmitOp(OpCode::kDiv, q, x, y);
+  b.EmitOp(OpCode::kEmit, q, 1);
+  PipelineProgram p = b.Finalize("kc-div");
+  p.n_input_cols = 2;
+  p.input_widths = {8, 8};
+  p.finalized = true;
+  return p;
+}
+
+struct RunOutput {
+  Status status;
+  std::vector<int64_t> emitted;
+  sim::CostStats stats;
+};
+
+/// Runs `program` over int64 columns through RunRows (tier 0) or RunNative
+/// (tier 2, requires program.native ready), capturing emitted rows and stats.
+RunOutput Execute(const PipelineProgram& program,
+                  const std::vector<std::vector<int64_t>>& cols, bool native) {
+  RunOutput out;
+  std::vector<ColumnBinding> bindings;
+  for (const auto& c : cols) {
+    bindings.push_back({reinterpret_cast<const std::byte*>(c.data()), 8});
+  }
+  std::vector<int64_t> storage(1024, 0);
+  EmitTarget emit;
+  emit.cols.push_back({reinterpret_cast<std::byte*>(storage.data()), 8});
+  emit.capacity = 1024;
+  emit.ResetCursor();
+  int64_t accs[kMaxLocalAccs] = {};
+  void* slots[kMaxHtSlots] = {};
+
+  ExecCtx ctx;
+  ctx.cols = bindings.data();
+  ctx.n_cols = static_cast<int>(bindings.size());
+  ctx.emit = &emit;
+  ctx.local_accs = accs;
+  ctx.ht_slots = slots;
+  ctx.stats = &out.stats;
+  ctx.row_begin = 0;
+  ctx.row_step = 1;
+  const uint64_t rows = cols.empty() ? 0 : cols[0].size();
+  out.status = native ? RunNative(program, ctx, rows) : RunRows(program, ctx, rows);
+  for (uint64_t i = 0; i < emit.rows(); ++i) out.emitted.push_back(storage[i]);
+  return out;
+}
+
+void ExpectStatsEq(const sim::CostStats& a, const sim::CostStats& b) {
+  EXPECT_EQ(a.tuples, b.tuples);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.atomics, b.atomics);
+  EXPECT_EQ(a.near_accesses, b.near_accesses);
+  EXPECT_EQ(a.mid_accesses, b.mid_accesses);
+  EXPECT_EQ(a.far_accesses, b.far_accesses);
+}
+
+std::vector<std::vector<int64_t>> TestColumns(int rows) {
+  std::vector<std::vector<int64_t>> cols(2);
+  for (int i = 0; i < rows; ++i) {
+    cols[0].push_back((i * 37) % 101 - 13);
+    cols[1].push_back(i + 1);
+  }
+  return cols;
+}
+
+TEST(KernelCacheTest, NativeKernelMatchesInterpreterExactly) {
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+
+  KernelCache cache(SyncOptions("parity"));
+  PipelineProgram native_prog = program;
+  native_prog.native = cache.GetOrBuild(gen, program.label);
+  ASSERT_TRUE(native_prog.native->ready()) << native_prog.native->error;
+
+  const auto cols = TestColumns(257);
+  const RunOutput interp = Execute(program, cols, /*native=*/false);
+  const RunOutput native = Execute(native_prog, cols, /*native=*/true);
+  ASSERT_TRUE(interp.status.ok()) << interp.status.ToString();
+  ASSERT_TRUE(native.status.ok()) << native.status.ToString();
+  EXPECT_EQ(interp.emitted, native.emitted);
+  ExpectStatsEq(interp.stats, native.stats);
+}
+
+TEST(KernelCacheTest, DivisionByZeroFaultsLikeTheInterpreter) {
+  const PipelineProgram program = DivProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+
+  KernelCache cache(SyncOptions("divfault"));
+  PipelineProgram native_prog = program;
+  native_prog.native = cache.GetOrBuild(gen, program.label);
+  ASSERT_TRUE(native_prog.native->ready()) << native_prog.native->error;
+
+  // Row 2 divides by zero; rows 0-1 must already be emitted and counted.
+  const std::vector<std::vector<int64_t>> cols = {{10, 20, 30, 40}, {2, 5, 0, 4}};
+  const RunOutput interp = Execute(program, cols, /*native=*/false);
+  const RunOutput native = Execute(native_prog, cols, /*native=*/true);
+  ASSERT_FALSE(interp.status.ok());
+  ASSERT_FALSE(native.status.ok());
+  EXPECT_NE(native.status.ToString().find("division by zero"), std::string::npos)
+      << native.status.ToString();
+  EXPECT_EQ(interp.emitted, native.emitted);
+  ExpectStatsEq(interp.stats, native.stats);
+}
+
+TEST(KernelCacheTest, WarmDirectoryLoadsWithZeroCompilerInvocations) {
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+  const CodegenOptions opts = SyncOptions("warm");
+
+  {
+    KernelCache cold(opts);
+    auto kernel = cold.GetOrBuild(gen, program.label);
+    ASSERT_TRUE(kernel->ready()) << kernel->error;
+    EXPECT_EQ(kernel->origin, NativeKernel::Origin::kCompiled);
+    EXPECT_EQ(cold.counters().compiles, 1u);
+    EXPECT_GE(cold.counters().compiler_invocations, 1u);
+    EXPECT_EQ(cold.counters().disk_hits, 0u);
+  }
+
+  // Fresh cache (fresh process stand-in), same directory: the kernel loads
+  // from disk after hash verification — the compiler never runs.
+  KernelCache warm(opts);
+  PipelineProgram native_prog = program;
+  native_prog.native = warm.GetOrBuild(gen, program.label);
+  ASSERT_TRUE(native_prog.native->ready()) << native_prog.native->error;
+  EXPECT_EQ(native_prog.native->origin, NativeKernel::Origin::kDisk);
+  EXPECT_EQ(warm.counters().disk_hits, 1u);
+  EXPECT_EQ(warm.counters().compiles, 0u);
+  EXPECT_EQ(warm.counters().compiler_invocations, 0u);
+
+  // And the disk-loaded kernel computes the same answer.
+  const auto cols = TestColumns(64);
+  const RunOutput interp = Execute(program, cols, /*native=*/false);
+  const RunOutput native = Execute(native_prog, cols, /*native=*/true);
+  ASSERT_TRUE(native.status.ok()) << native.status.ToString();
+  EXPECT_EQ(interp.emitted, native.emitted);
+}
+
+TEST(KernelCacheTest, CorruptedObjectIsRejectedAndRecompiled) {
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+  const CodegenOptions opts = SyncOptions("corrupt");
+
+  {
+    KernelCache cold(opts);
+    auto kernel = cold.GetOrBuild(gen, program.label);
+    ASSERT_TRUE(kernel->ready()) << kernel->error;
+  }
+
+  fs::path so_path;
+  for (const auto& entry : fs::directory_iterator(opts.kernel_dir)) {
+    if (entry.path().extension() == ".so") so_path = entry.path();
+  }
+  ASSERT_FALSE(so_path.empty());
+
+  // Corrupt the object in place (size unchanged): only the content hash in the
+  // .meta sidecar can catch this.
+  {
+    std::fstream f(so_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(so_path) / 2));
+    const char garbage[] = "hetex-corruption-test";
+    f.write(garbage, sizeof(garbage));
+  }
+  {
+    KernelCache cache(opts);
+    auto kernel = cache.GetOrBuild(gen, program.label);
+    ASSERT_TRUE(kernel->ready()) << kernel->error;
+    EXPECT_EQ(kernel->origin, NativeKernel::Origin::kCompiled);
+    EXPECT_EQ(cache.counters().rejected_objects, 1u);
+    EXPECT_EQ(cache.counters().disk_hits, 0u);
+    EXPECT_EQ(cache.counters().compiles, 1u);
+
+    PipelineProgram native_prog = program;
+    native_prog.native = kernel;
+    const auto cols = TestColumns(64);
+    EXPECT_EQ(Execute(program, cols, false).emitted,
+              Execute(native_prog, cols, true).emitted);
+  }
+
+  // Truncation (size mismatch) is caught the same way.
+  fs::resize_file(so_path, fs::file_size(so_path) / 3);
+  {
+    KernelCache cache(opts);
+    auto kernel = cache.GetOrBuild(gen, program.label);
+    ASSERT_TRUE(kernel->ready()) << kernel->error;
+    EXPECT_EQ(kernel->origin, NativeKernel::Origin::kCompiled);
+    EXPECT_EQ(cache.counters().rejected_objects, 1u);
+  }
+}
+
+TEST(KernelCacheTest, ConcurrentRequestsCoalesceToOneCompile) {
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+
+  CodegenOptions opts;
+  opts.enabled = true;
+  opts.async = true;
+  opts.compile_threads = 2;
+  opts.kernel_dir = FreshDir("concurrent");
+  KernelCache cache(opts);
+
+  constexpr int kThreads = 8;
+  std::shared_ptr<NativeKernel> kernels[kThreads];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { kernels[i] = cache.GetOrBuild(gen, program.label); });
+  }
+  for (auto& t : threads) t.join();
+  cache.WaitIdle();
+
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(kernels[i], kernels[0]);
+  ASSERT_TRUE(kernels[0]->ready()) << kernels[0]->error;
+  const KernelCache::Counters c = cache.counters();
+  EXPECT_EQ(c.requests, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(c.compiles, 1u);
+  EXPECT_EQ(c.in_process_hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(KernelCacheTest, MissingCompilerFailsClosedWithNamedReason) {
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+
+  CodegenOptions opts = SyncOptions("nocompiler");
+  opts.compiler_cmd = "/nonexistent-hetex-compiler -shared";
+  KernelCache cache(opts);
+  auto kernel = cache.GetOrBuild(gen, program.label);
+  EXPECT_TRUE(kernel->failed());
+  EXPECT_FALSE(kernel->ready());
+  EXPECT_FALSE(kernel->error.empty());
+  EXPECT_EQ(cache.counters().compile_failures, 1u);
+  // A broken object must never have been installed on disk.
+  for (const auto& entry : fs::directory_iterator(opts.kernel_dir)) {
+    EXPECT_NE(entry.path().extension(), ".so") << entry.path();
+  }
+}
+
+/// End-to-end fail-closed discipline: a System configured for tier 2 whose
+/// compiler does not exist still answers queries — served by the vectorizer,
+/// with the failure counted, identical to a codegen-free System.
+TEST(KernelCacheTest, NoCompilerSystemFallsBackToVectorizer) {
+  auto make_system = [](bool codegen) {
+    core::System::Options opts;
+    opts.topology.num_sockets = 1;
+    opts.topology.cores_per_socket = 2;
+    opts.topology.num_gpus = 0;
+    if (codegen) {
+      opts.codegen.enabled = true;
+      opts.codegen.async = false;
+      opts.codegen.compiler_cmd = "/nonexistent-hetex-compiler -shared";
+      opts.codegen.kernel_dir = FreshDir("e2e-nocompiler");
+    }
+    return std::make_unique<core::System>(opts);
+  };
+  auto run_query = [](core::System* system) {
+    ssb::Ssb::Options ssb_opts;
+    ssb_opts.lineorder_rows = 10'000;
+    ssb_opts.scale = 0.002;
+    ssb::Ssb ssb(ssb_opts, &system->catalog());
+    for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+      HETEX_CHECK_OK(
+          system->catalog().at(name).Place(system->HostNodes(), &system->memory()));
+    }
+    plan::ExecPolicy policy = plan::ExecPolicy::CpuOnly(1);
+    policy.block_rows = 4096;
+    core::QueryExecutor executor(system);
+    return executor.Execute(ssb.Query(1, 1), policy);
+  };
+
+  const CodegenCounters before = GetCodegenCounters();
+  auto broken = make_system(/*codegen=*/true);
+  const auto broken_result = run_query(broken.get());
+  ASSERT_TRUE(broken_result.status.ok()) << broken_result.status.ToString();
+  const CodegenCounters after = GetCodegenCounters();
+  EXPECT_GT(after.compile_failures, before.compile_failures);
+  EXPECT_GT(after.fallbacks, before.fallbacks);
+  EXPECT_EQ(after.native_invocations, before.native_invocations);
+
+  auto plain = make_system(/*codegen=*/false);
+  const auto plain_result = run_query(plain.get());
+  ASSERT_TRUE(plain_result.status.ok());
+  EXPECT_EQ(broken_result.rows, plain_result.rows);
+  ExpectStatsEq(broken_result.stats, plain_result.stats);
+}
+
+}  // namespace
+}  // namespace hetex::jit
