@@ -5,6 +5,7 @@
 //
 // Usage:
 //   bench_throughput_bench [--check] [--rows N] [--repeat K]
+//                          [--faults] [--fault-seed S]
 //
 // --check exits nonzero unless (a) modeled queries/sec rises from concurrency
 // 1 to 4, (b) every query's rows match the concurrency-1 run (parity gate),
@@ -13,6 +14,13 @@
 // idle-server timeline a solo query does (catches epoch-anchoring
 // regressions: a session anchored short of the resource horizon would
 // inherit phantom queueing from finished queries).
+//
+// --faults runs the same offered load under the fault plane (seeded transient
+// DMA/kernel/staging faults plus a scripted mid-workload GPU loss window) and
+// reports, per concurrency level, the completed-query qps/p99 plus the
+// degraded and failed fractions. OK results are still parity-checked against
+// the scalar reference. Informational only — never a gate (--check is ignored
+// in this mode).
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +33,8 @@
 #include "common/logging.h"
 #include "core/scheduler.h"
 #include "core/system.h"
+#include "sim/fault.h"
+#include "ssb/reference.h"
 #include "ssb/ssb.h"
 
 namespace hetex {
@@ -40,6 +50,10 @@ struct LevelStats {
   double p99_exec_s = 0;          ///< execution only (queue wait excluded)
   double mean_queue_wait_s = 0;
   double wall_s = 0;              ///< host wall clock of the functional run
+  int ok = 0;                     ///< queries that completed with OK status
+  int failed = 0;                 ///< queries that ended in a terminal fault
+  int degraded = 0;               ///< OK after retries / re-planning
+  int retries_total = 0;          ///< recovery attempts summed over the level
 };
 
 double Percentile(std::vector<double> v, double p) {
@@ -58,14 +72,24 @@ int main(int argc, char** argv) {
   uint64_t rows = 60'000;
   int repeat = 2;
   bool check = false;
+  bool faults = false;
+  uint64_t fault_seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
     if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
       rows = std::strtoull(argv[++i], nullptr, 10);
     }
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoi(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (faults && check) {
+    std::fprintf(stderr, "note: --faults is informational, ignoring --check\n");
+    check = false;
   }
 
   core::System::Options opts;
@@ -78,7 +102,19 @@ int main(int argc, char** argv) {
   opts.blocks.block_bytes = 64 << 10;
   opts.blocks.host_arena_blocks = 512;
   opts.blocks.gpu_arena_blocks = 256;
+  if (faults) {
+    opts.faults.enabled = true;
+    opts.faults.seed = fault_seed;
+    opts.faults.dma_fault_rate = 0.02;
+    opts.faults.kernel_fault_rate = 0.02;
+    opts.faults.staging_fault_rate = 0.005;
+  }
   core::System system(opts);
+  if (faults) {
+    // One GPU drops out for a window in the middle of the busy period:
+    // queries caught mid-flight re-plan onto the survivors.
+    system.fault().LoseGpu(0, /*from=*/0.02, /*until=*/0.12);
+  }
 
   ssb::Ssb::Options ssb_opts;
   ssb_opts.lineorder_rows = rows;
@@ -101,9 +137,11 @@ int main(int argc, char** argv) {
   // Solo baseline: every workload query through the plain Execute path (one
   // at a time, idle arrivals). The scheduler at concurrency 1 must reproduce
   // these execution latencies — it runs the same queries serially, each
-  // anchored at the resource horizon.
+  // anchored at the resource horizon. Skipped under --faults (the baseline
+  // would itself be perturbed; OK rows are checked against the scalar
+  // reference instead).
   std::vector<double> solo_exec;
-  {
+  if (!faults) {
     core::QueryExecutor executor(&system);
     for (const auto& spec : workload) {
       core::QueryResult r = executor.Execute(spec);
@@ -112,6 +150,13 @@ int main(int argc, char** argv) {
     }
   }
   const double solo_p99 = Percentile(solo_exec, 0.99);
+
+  std::vector<std::vector<std::vector<int64_t>>> reference_rows;
+  if (faults) {
+    for (const auto& spec : workload) {
+      reference_rows.push_back(ssb::ReferenceExecute(spec, system.catalog()));
+    }
+  }
 
   std::vector<LevelStats> levels;
   std::vector<std::vector<std::vector<int64_t>>> baseline_rows;
@@ -133,8 +178,19 @@ int main(int argc, char** argv) {
     bool first = true;
     for (size_t i = 0; i < handles.size(); ++i) {
       core::QueryResult r = scheduler.Wait(handles[i]);
-      HETEX_CHECK(r.status.ok())
-          << workload[i].name << ": " << r.status.ToString();
+      if (!faults) {
+        HETEX_CHECK(r.status.ok())
+            << workload[i].name << ": " << r.status.ToString();
+      }
+      level.retries_total += r.retries;
+      if (r.degraded) ++level.degraded;
+      if (!r.status.ok()) {
+        // Terminal fault under injection: counted, excluded from the latency
+        // percentiles (they describe completed queries).
+        ++level.failed;
+        continue;
+      }
+      ++level.ok;
       const double arrival = r.session_epoch - r.queue_wait;
       if (first || arrival < base) base = arrival;
       first = false;
@@ -142,7 +198,16 @@ int main(int argc, char** argv) {
       latencies.push_back(r.queue_wait + r.modeled_seconds);
       exec_latencies.push_back(r.modeled_seconds);
       wait_sum += r.queue_wait;
-      if (concurrency == 1) {
+      if (faults) {
+        // Degraded-mode recovery must stay bit-transparent.
+        if (r.rows != reference_rows[i]) {
+          parity_ok = false;
+          std::fprintf(stderr,
+                       "PARITY FAILURE: %s rows diverge from reference at "
+                       "concurrency %d\n",
+                       workload[i].name.c_str(), concurrency);
+        }
+      } else if (concurrency == 1) {
         baseline_rows.push_back(std::move(r.rows));
       } else if (r.rows != baseline_rows[i]) {
         parity_ok = false;
@@ -156,31 +221,49 @@ int main(int argc, char** argv) {
     level.makespan_modeled_s = last_end - base;
     level.qps_modeled =
         level.makespan_modeled_s > 0
-            ? static_cast<double>(level.queries) / level.makespan_modeled_s
+            ? static_cast<double>(level.ok) / level.makespan_modeled_s
             : 0;
     level.p50_latency_s = Percentile(latencies, 0.50);
     level.p99_latency_s = Percentile(latencies, 0.99);
     level.p99_exec_s = Percentile(exec_latencies, 0.99);
-    level.mean_queue_wait_s = wait_sum / static_cast<double>(latencies.size());
+    level.mean_queue_wait_s =
+        latencies.empty() ? 0
+                          : wait_sum / static_cast<double>(latencies.size());
     levels.push_back(level);
   }
 
-  std::printf("{\n  \"lineorder_rows\": %" PRIu64 ",\n  \"solo_p99_exec_s\": %.6f,"
-              "\n  \"levels\": [\n",
-              rows, solo_p99);
+  std::printf("{\n  \"lineorder_rows\": %" PRIu64 ",\n  \"faults\": %s,"
+              "\n  \"solo_p99_exec_s\": %.6f,\n  \"levels\": [\n",
+              rows, faults ? "true" : "false", solo_p99);
   for (size_t i = 0; i < levels.size(); ++i) {
     const LevelStats& l = levels[i];
+    const double degraded_fraction =
+        l.queries > 0 ? static_cast<double>(l.degraded) / l.queries : 0;
     std::printf("    {\"concurrency\": %d, \"queries\": %d, "
                 "\"makespan_modeled_s\": %.6f, \"qps_modeled\": %.2f, "
                 "\"p50_latency_s\": %.6f, \"p99_latency_s\": %.6f, "
                 "\"p99_exec_s\": %.6f, "
-                "\"mean_queue_wait_s\": %.6f, \"wall_s\": %.3f}%s\n",
+                "\"mean_queue_wait_s\": %.6f, \"wall_s\": %.3f, "
+                "\"ok\": %d, \"failed\": %d, \"degraded_fraction\": %.4f, "
+                "\"retries_total\": %d}%s\n",
                 l.concurrency, l.queries, l.makespan_modeled_s, l.qps_modeled,
                 l.p50_latency_s, l.p99_latency_s, l.p99_exec_s,
-                l.mean_queue_wait_s, l.wall_s,
+                l.mean_queue_wait_s, l.wall_s, l.ok, l.failed,
+                degraded_fraction, l.retries_total,
                 i + 1 < levels.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  if (faults) {
+    const sim::FaultInjector::Counters c = system.fault().counters();
+    std::printf("  ],\n  \"fault_counters\": {\"dma\": %" PRIu64
+                ", \"kernel\": %" PRIu64 ", \"staging\": %" PRIu64
+                ", \"compile\": %" PRIu64 ", \"device_loss_rejections\": %" PRIu64
+                "},\n  \"parity_ok\": %s\n}\n",
+                c.dma_faults, c.kernel_faults, c.staging_faults,
+                c.compile_faults, c.device_loss_rejections,
+                parity_ok ? "true" : "false");
+  } else {
+    std::printf("  ]\n}\n");
+  }
 
   if (check) {
     const double qps1 = levels[0].qps_modeled;

@@ -18,7 +18,19 @@ enum class StatusCode {
   kUnsupported,     ///< feature not supported by the engine (e.g. DBMS G string ops)
   kInternal,
   kResourceExhausted,
+  kUnavailable,       ///< transient fault (DMA error, kernel-launch failure): retryable
+  kDeviceLost,        ///< whole device unavailable: recover by re-planning without it
+  kDeadlineExceeded,  ///< the query's virtual-time budget ran out
+  kCancelled,         ///< the client cancelled the query
 };
+
+/// Fault classes the scheduler's degraded-mode recovery distinguishes: a
+/// transient fault is worth retrying the same plan with backoff; a device loss
+/// needs a re-plan on the surviving device set; everything else is terminal.
+inline bool IsTransientFault(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
 
 /// \brief Result of an operation that can fail without a payload.
 class Status {
@@ -45,6 +57,18 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeviceLost(std::string msg) {
+    return Status(StatusCode::kDeviceLost, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -64,6 +88,10 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDeviceLost: return "DeviceLost";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -32,9 +32,18 @@ Status QueryExecutor::Optimize(const plan::QuerySpec& spec,
 
 Status QueryExecutor::OptimizeAt(const plan::QuerySpec& spec,
                                  const plan::ExecPolicy& base, sim::VTime epoch,
-                                 plan::OptimizeResult* out) const {
+                                 plan::OptimizeResult* out,
+                                 const std::vector<int>* exclude_gpus) const {
   plan::PlanCoster::Options opts;
   opts.pack_block_rows = system_->blocks().options().block_bytes / 8;
+  // Device health: only restrict the candidate space when the fault plane can
+  // actually change it — with the injector disabled and no exclusions the
+  // optimization is byte-identical to the pre-fault-plane path.
+  if (system_->fault().enabled() ||
+      (exclude_gpus != nullptr && !exclude_gpus->empty())) {
+    opts.available_gpus = system_->AvailableGpusAt(
+        epoch, exclude_gpus != nullptr ? *exclude_gpus : std::vector<int>{});
+  }
   // Load signal: work already queued on each PCIe link past this session's
   // arrival. In-flight queries' transfers serialize ahead of ours, so the
   // coster charges them as a start offset on the link occupancy bound —
@@ -128,6 +137,10 @@ QueryHandle QueryExecutor::Submit(const plan::QuerySpec& spec,
 
 QueryResult QueryExecutor::Wait(QueryHandle handle) {
   return scheduler().Wait(handle);
+}
+
+Status QueryExecutor::Cancel(QueryHandle handle) {
+  return scheduler().Cancel(handle);
 }
 
 }  // namespace hetex::core

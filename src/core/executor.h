@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_control.h"
 #include "core/system.h"
 #include "plan/het_plan.h"
 #include "plan/optimizer.h"
@@ -28,6 +29,10 @@ namespace hetex::core {
 struct QuerySession {
   uint64_t query_id = 0;
   sim::VTime epoch = 0;
+  /// Cooperative cancellation/deadline state (see QueryControl); null for
+  /// uncontrolled (solo) sessions. Owned by the scheduler task, outlives the
+  /// session.
+  const QueryControl* control = nullptr;
 };
 
 /// Outcome of a query execution.
@@ -49,6 +54,19 @@ struct QueryResult {
   sim::VTime arrival_offset = 0;
   sim::VTime session_epoch = 0;
   sim::VTime queue_wait = 0;
+  /// \name Degraded-mode accounting (scheduler recovery path).
+  /// A query that hit a fault and recovered reports how: `retries` transient
+  /// re-executions (exponential virtual-time backoff), `replanned` when a
+  /// device loss forced a re-plan on the surviving device set, `degraded`
+  /// when either happened, and `fault` carries the first fault that triggered
+  /// recovery (also set when recovery ultimately failed — `status` then holds
+  /// the terminal error).
+  /// @{
+  int retries = 0;
+  bool replanned = false;
+  bool degraded = false;
+  Status fault = Status::OK();
+  /// @}
 };
 
 /// Opaque handle to a query submitted to the concurrent scheduler.
@@ -102,8 +120,13 @@ class QueryExecutor {
   /// epoch as a load signal, so plans picked under load account for the
   /// in-flight queries already queued on the interconnects. `Optimize` is this
   /// with epoch = VirtualHorizon() (an idle arrival: zero backlog).
+  /// `exclude_gpus`, when non-null, removes those devices from the candidate
+  /// space on top of the System health registry's availability at `epoch` —
+  /// the scheduler's conservative exclusion set when re-planning after a
+  /// kDeviceLost failure.
   Status OptimizeAt(const plan::QuerySpec& spec, const plan::ExecPolicy& base,
-                    sim::VTime epoch, plan::OptimizeResult* out) const;
+                    sim::VTime epoch, plan::OptimizeResult* out,
+                    const std::vector<int>* exclude_gpus = nullptr) const;
 
   /// Human-readable ranked candidate table for `spec` under `base` (the
   /// EXPLAIN path; returns the error text when optimization fails).
@@ -130,6 +153,8 @@ class QueryExecutor {
   QueryHandle Submit(const plan::QuerySpec& spec);
   QueryHandle Submit(const plan::QuerySpec& spec, const plan::ExecPolicy& policy);
   QueryResult Wait(QueryHandle handle);
+  /// Requests cancellation of a submitted query (see QueryScheduler::Cancel).
+  Status Cancel(QueryHandle handle);
   QueryScheduler& scheduler();
   /// @}
 

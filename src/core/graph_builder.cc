@@ -538,6 +538,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   auto session_edge_options = [&](const StageSpec& stage) {
     Edge::Options options = stage.in.options;
     options.epoch = session.epoch;
+    options.control = session.control;
     return options;
   };
 
@@ -613,6 +614,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     *out = std::make_unique<SourceDriver>(system_, table, std::move(indices),
                                           block_rows, edge, clock,
                                           seg.per_block_cost);
+    (*out)->set_control(session.control);
     return Status::OK();
   };
 
@@ -636,7 +638,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       rt.cfg->pipeline = compiler->CompileSpan(stage.span, nullptr);
       rt.group = std::make_unique<WorkerGroup>(
           system_, stage.instances, FactoryFor(rt.cfg.get()), nullptr,
-          channel_capacity, init_clock, session.epoch, session.query_id);
+          channel_capacity, init_clock, session.epoch, session.query_id,
+          session.control);
       rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                        rt.group->instance_ptrs());
       Status st = make_source(stage, *rt.cfg, rt.edge.get(), init_clock,
@@ -683,7 +686,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     }
     rt.group = std::make_unique<WorkerGroup>(
         system_, stage.instances, FactoryFor(rt.cfg.get()), downstream,
-        channel_capacity, probe_start, session.epoch, session.query_id);
+        channel_capacity, probe_start, session.epoch, session.query_id,
+        session.control);
     rt.edge = std::make_unique<Edge>(system_, session_edge_options(stage),
                                      rt.group->instance_ptrs());
     downstream = rt.edge.get();

@@ -28,7 +28,13 @@ class VmProcessor : public BlockProcessor {
   bool is_gpu(WorkerInstance& inst) const { return inst.device().is_gpu(); }
   uint64_t BucketCapacityRows() const { return cfg_->block_bytes / 8; }
 
-  void InstallFresh(WorkerInstance& inst, PackBucket& bucket);
+  /// Installs fresh output blocks into `bucket`. On staging exhaustion (arena
+  /// timeout or injected spike) the instance notes the error and the bucket's
+  /// targets are re-pointed at a throwaway scratch buffer — a kernel in the
+  /// middle of an on_full refill keeps a valid write target and finishes; its
+  /// output is discarded by the error drain. Returns false on that path.
+  bool InstallFresh(WorkerInstance& inst, PackBucket& bucket);
+  void InstallScratch(PackBucket& bucket);
   void ReleaseBucketBlocks(WorkerInstance& inst, PackBucket& bucket);
   /// Moves a filled bucket into pending_ as a DataMsg (ready_at patched later).
   void StashBucket(PackBucket& bucket);
@@ -46,6 +52,7 @@ class VmProcessor : public BlockProcessor {
   std::atomic<int64_t>* shared_accs_ = nullptr;  // GPU device-resident accumulators
   std::vector<std::unique_ptr<PackBucket>> buckets_;
   std::vector<DataMsg> pending_;
+  std::unique_ptr<std::byte[]> scratch_;  ///< failed-refill write target
 };
 
 void VmProcessor::Init(WorkerInstance& inst) {
@@ -127,13 +134,36 @@ void VmProcessor::Init(WorkerInstance& inst) {
   }
 }
 
-void VmProcessor::InstallFresh(WorkerInstance& inst, PackBucket& bucket) {
+bool VmProcessor::InstallFresh(WorkerInstance& inst, PackBucket& bucket) {
   bucket.blocks.clear();
   bucket.target.cols.clear();
   for (const auto& col : cfg_->pipeline.output_cols) {
     memory::Block* block = inst.provider().GetBuffer();
+    if (block == nullptr) {
+      for (memory::Block* b : bucket.blocks) inst.provider().ReleaseBuffer(b);
+      bucket.blocks.clear();
+      inst.NoteError(Status::ResourceExhausted(
+          "staging-block acquisition failed while packing output of pipeline '" +
+          cfg_->pipeline.program.label + "'"));
+      InstallScratch(bucket);
+      return false;
+    }
     bucket.blocks.push_back(block);
     bucket.target.cols.push_back({block->data, col.width});
+  }
+  bucket.target.capacity = BucketCapacityRows();
+  bucket.target.ResetCursor();
+  return true;
+}
+
+void VmProcessor::InstallScratch(PackBucket& bucket) {
+  if (scratch_ == nullptr) scratch_ = std::make_unique<std::byte[]>(cfg_->block_bytes);
+  bucket.target.cols.clear();
+  for (const auto& col : cfg_->pipeline.output_cols) {
+    // Every column aliases the one scratch allocation: the data written here
+    // is never read (the instance is in error drain), it only has to be a
+    // valid in-bounds write target for an already-running kernel.
+    bucket.target.cols.push_back({scratch_.get(), col.width});
   }
   bucket.target.capacity = BucketCapacityRows();
   bucket.target.ResetCursor();
@@ -215,6 +245,7 @@ void VmProcessor::ProcessMsg(WorkerInstance& inst, DataMsg& msg) {
         buckets_.push_back(std::move(bucket));
       }
     }
+    if (!inst.error().ok()) return;  // bucket install failed: drain from here on
     targets.reserve(buckets_.size());
     for (auto& bucket : buckets_) targets.push_back(&bucket->target);
   }
@@ -269,6 +300,13 @@ void VmProcessor::EmitRowsDownstream(WorkerInstance& inst,
     std::vector<memory::Block*> blocks;
     for (size_t c = 0; c < schema_width; ++c) {
       memory::Block* block = inst.provider().GetBuffer();
+      if (block == nullptr) {
+        for (memory::Block* b : blocks) inst.provider().ReleaseBuffer(b);
+        inst.NoteError(Status::ResourceExhausted(
+            "staging-block acquisition failed while emitting partials of "
+            "pipeline '" + cfg_->pipeline.program.label + "'"));
+        return;
+      }
       auto* data = reinterpret_cast<int64_t*>(block->data);
       for (uint64_t r = 0; r < n; ++r) data[r] = rows[next + r][c];
       memory::BlockHandle h;

@@ -1,0 +1,51 @@
+#ifndef HETEX_CORE_QUERY_CONTROL_H_
+#define HETEX_CORE_QUERY_CONTROL_H_
+
+#include <atomic>
+
+#include "common/status.h"
+#include "sim/vtime.h"
+
+namespace hetex::core {
+
+/// \brief Cooperative liveness state of one in-flight query, owned by the
+/// scheduler task and threaded (by pointer) through the session into every
+/// SourceDriver, Edge and WorkerGroup the query instantiates.
+///
+/// Cancellation and deadlines are cooperative: when either fires, segmenters
+/// stop producing, edges drop (and release) in-flight messages, and worker
+/// instances note kCancelled / kDeadlineExceeded and drain their channels
+/// without executing — the whole graph still joins normally, so every cleanup
+/// guard (HT namespace, DRAM registrations, staging blocks) runs exactly as on
+/// the success path. The scheduler stamps the authoritative terminal status on
+/// the QueryResult; the graph-level checks only stop the query from burning
+/// further work.
+struct QueryControl {
+  std::atomic<bool> cancelled{false};
+  /// Session-local virtual-time execution bound (the submit deadline minus the
+  /// admission queue wait); negative = no deadline.
+  sim::VTime deadline = -1;
+  /// Sticky record that some graph component observed the deadline expired —
+  /// the scheduler's terminal-stamp signal even when the component (e.g. a
+  /// segmenter that simply stopped producing) leaves no error behind.
+  mutable std::atomic<bool> deadline_hit{false};
+
+  bool has_deadline() const { return deadline >= 0; }
+
+  /// OK while the query should keep working at session-local time `now`.
+  Status CheckLive(sim::VTime now) const {
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled by client");
+    }
+    if (has_deadline() && now > deadline) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "query exceeded its virtual-time deadline");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_QUERY_CONTROL_H_

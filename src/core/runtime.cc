@@ -69,7 +69,13 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
   out.ready_at = msg.ready_at;
   out.tag = msg.tag;
 
+  // First mem-move failure (staging acquisition, injected DMA fault,
+  // cancellation). Once set, remaining columns are skipped and the whole
+  // message degrades to an error marker on the failure path below.
+  Status fail = Status::OK();
+
   for (auto& h : msg.cols) {
+    if (!fail.ok()) break;
     if (h.node() == target_node) {
       // Already local: forward the handle, no transfer (paper §3.2).
       if (h.block->owner != nullptr) memory::BlockManager::AddRef(h.block);
@@ -82,12 +88,29 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
     auto copy_over_link = [&](const memory::BlockHandle& src,
                               sim::MemNodeId dst_node, int link,
                               sim::VTime earliest) {
-      memory::Block* dst = system_->blocks().Acquire(dst_node, producer_node);
+      memory::BlockHandle moved;
+      Status acquire_error = Status::OK();
+      memory::Block* dst = system_->blocks().Acquire(
+          dst_node, producer_node, &acquire_error,
+          options_.control != nullptr ? &options_.control->cancelled : nullptr);
+      if (dst == nullptr) {
+        fail = std::move(acquire_error);
+        return std::make_pair(moved, sim::TransferTicket{});
+      }
       HETEX_CHECK(dst->capacity >= src.bytes) << "staging block too small";
+      if (sim::FaultInjector& inj = system_->fault(); inj.enabled()) {
+        // Fault check precedes the DMA reservation: a failed transfer strands
+        // nothing on the shared link timeline.
+        Status st = inj.OnDmaTransfer(link);
+        if (!st.ok()) {
+          system_->blocks().Release(dst, producer_node);
+          fail = std::move(st);
+          return std::make_pair(moved, sim::TransferTicket{});
+        }
+      }
       sim::TransferTicket ticket =
           system_->dma().Transfer(src.data(), dst->data, src.bytes, link,
                                   earliest, !src.block->pinned, options_.epoch);
-      memory::BlockHandle moved;
       moved.block = dst;
       moved.bytes = src.bytes;
       moved.rows = src.rows;
@@ -99,12 +122,14 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
       const int gpu = topo.mem_node(target_node).owner.index;
       auto [moved, ticket] =
           copy_over_link(h, target_node, topo.PcieLinkOf(gpu), msg.ready_at);
+      if (!fail.ok()) break;
       out.cols.push_back(moved);
       out.tickets.push_back(ticket);
     } else if (src_gpu && !dst_gpu) {
       const int gpu = topo.mem_node(h.node()).owner.index;
       auto [moved, ticket] =
           copy_over_link(h, target_node, topo.PcieLinkOf(gpu), msg.ready_at);
+      if (!fail.ok()) break;
       out.cols.push_back(moved);
       out.tickets.push_back(ticket);
     } else if (src_gpu && dst_gpu) {
@@ -115,9 +140,14 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
           topo.socket(topo.gpu(src_gpu_id).socket).mem;
       auto [staged, t1] =
           copy_over_link(h, host, topo.PcieLinkOf(src_gpu_id), msg.ready_at);
+      if (!fail.ok()) break;
       t1.Wait();  // functional ordering: hop 2 reads the staging buffer
       auto [moved, t2] = copy_over_link(staged, target_node,
                                         topo.PcieLinkOf(dst_gpu_id), t1.ready_at());
+      if (!fail.ok()) {
+        system_->blocks().Release(staged.block, producer_node);
+        break;
+      }
       out.cols.push_back(moved);
       out.tickets.push_back(t2);
       out.release_after_wait.push_back(staged.block);
@@ -131,6 +161,22 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
       out.release_after_wait.push_back(h.block);
     }
   }
+  if (!fail.ok()) {
+    // Undo the partial move: wait out any already-scheduled DMAs (their
+    // functional memcpys must not scribble into blocks we hand back to the
+    // arena), then release everything staged so far plus the original payload.
+    // The consumer receives an empty message carrying only the error.
+    for (const auto& ticket : out.tickets) ticket.Wait();
+    for (memory::Block* b : out.release_after_wait) {
+      if (b->owner != nullptr) system_->blocks().Release(b, producer_node);
+    }
+    out.release_after_wait.clear();
+    out.tickets.clear();
+    ReleaseMsgBlocks(system_, out, producer_node);
+    ReleaseMsgBlocks(system_, msg, producer_node);
+    out.error = std::move(fail);
+    return out;
+  }
   // The producer's own references are no longer needed: the consumer-held
   // references above (moved handles / post-DMA releases) keep everything alive.
   ReleaseMsgBlocks(system_, msg, producer_node);
@@ -140,7 +186,8 @@ DataMsg Edge::MoveToNode(DataMsg msg, sim::MemNodeId target_node,
 void Edge::DeliverTo(WorkerInstance* target, DataMsg msg,
                      sim::MemNodeId producer_node) {
   const sim::Topology& topo = system_->topology();
-  if (options_.mem_move && MsgNeedsMove(topo, target->device(), msg)) {
+  if (options_.mem_move && msg.error.ok() &&
+      MsgNeedsMove(topo, target->device(), msg)) {
     msg = MoveToNode(std::move(msg), target->node(), producer_node);
   } else if (!options_.mem_move) {
     // UVA-style edge (bare GPU mode): the consumer must at least be able to
@@ -158,6 +205,15 @@ void Edge::DeliverTo(WorkerInstance* target, DataMsg msg,
 }
 
 void Edge::Push(DataMsg msg, sim::MemNodeId producer_node) {
+  if (options_.control != nullptr && msg.error.ok() &&
+      options_.control->cancelled.load(std::memory_order_relaxed)) {
+    // Cancelled query: stop moving data, just drop the payload. (Error-marked
+    // messages still flow — the terminal status is stamped by the scheduler,
+    // but consumers must observe the fault to stop cleanly.) Messages at this
+    // point carry no tickets yet; mem-move attaches them after routing.
+    ReleaseMsgBlocks(system_, msg, producer_node);
+    return;
+  }
   msg.ready_at += options_.control_cost + options_.crossing_latency;
   const sim::Topology& topo = system_->topology();
 
@@ -225,10 +281,12 @@ void Edge::Push(DataMsg msg, sim::MemNodeId producer_node) {
 WorkerGroup::WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
                          ProcessorFactory factory, Edge* out,
                          size_t channel_capacity, sim::VTime initial_clock,
-                         sim::VTime epoch, uint64_t query_id)
+                         sim::VTime epoch, uint64_t query_id,
+                         const QueryControl* control)
     : system_(system),
       factory_(std::move(factory)),
       out_(out),
+      control_(control),
       initial_clock_(initial_clock) {
   int id = 0;
   for (const auto& dev : devices) {
@@ -273,6 +331,14 @@ void WorkerGroup::RunInstance(WorkerInstance& inst) {
       if (b->owner != nullptr) system_->blocks().Release(b, inst.node());
     }
     msg->release_after_wait.clear();
+    // A mem-move failure marker, a cancellation or an expired deadline all put
+    // the instance into error-drain mode: ProcessMsg becomes a no-op, the
+    // channel keeps draining (so producers never block on backpressure), and
+    // Finish's error path runs the usual cleanup.
+    if (!msg->error.ok()) inst.NoteError(std::move(msg->error));
+    if (control_ != nullptr && inst.error().ok()) {
+      inst.NoteError(control_->CheckLive(inst.clock()));
+    }
     const sim::VTime before = inst.clock();
     processor->ProcessMsg(inst, *msg);
     inst.NoteBlockCost(inst.clock() - before);
@@ -324,7 +390,9 @@ void SourceDriver::Join() {
 void SourceDriver::Run() {
   const sim::MemNodeId producer_node = system_->topology().socket(0).mem;
   for (const auto& chunk : table_->chunks()) {
+    if (control_ != nullptr && !control_->CheckLive(clock_).ok()) break;
     for (uint64_t off = 0; off < chunk.rows; off += block_rows_) {
+      if (control_ != nullptr && !control_->CheckLive(clock_).ok()) break;
       const uint64_t rows = std::min(block_rows_, chunk.rows - off);
       DataMsg msg;
       msg.rows = rows;

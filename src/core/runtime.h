@@ -13,6 +13,7 @@
 
 #include "common/mpmc_queue.h"
 #include "core/ht_registry.h"
+#include "core/query_control.h"
 #include "core/system.h"
 #include "jit/device_provider.h"
 #include "jit/hash_table.h"
@@ -33,6 +34,12 @@ struct DataMsg {
   uint64_t tag = 0;  ///< routing tag (hash bucket / broadcast target id)
   std::vector<sim::TransferTicket> tickets;
   std::vector<memory::Block*> release_after_wait;  ///< DMA sources to free
+
+  /// Mem-move failure marker: when an edge's data-flow half could not deliver
+  /// this message (injected DMA fault, staging exhaustion, cancellation), it
+  /// releases the payload and forwards the message with `error` set and empty
+  /// `cols`; the consumer lifts the error into its instance and drains.
+  Status error = Status::OK();
 
   /// Latest virtual time at which every column block (and transfer) is ready.
   sim::VTime ReadyAt() const {
@@ -147,6 +154,10 @@ class Edge {
     /// the shared PCIe links are anchored at `epoch + session-local time`, so
     /// concurrent queries charge each other link contention.
     sim::VTime epoch = 0;
+    /// Owning query's cancellation/deadline state; a cancelled query's edges
+    /// drop (and release) further messages instead of moving them. Null =
+    /// uncontrolled session.
+    const QueryControl* control = nullptr;
   };
 
   Edge(System* system, Options options, std::vector<WorkerInstance*> consumers);
@@ -201,7 +212,7 @@ class WorkerGroup {
   WorkerGroup(System* system, std::vector<sim::DeviceId> devices,
               ProcessorFactory factory, Edge* out, size_t channel_capacity,
               sim::VTime initial_clock, sim::VTime epoch = 0.0,
-              uint64_t query_id = 0);
+              uint64_t query_id = 0, const QueryControl* control = nullptr);
 
   void Start();
   void Join();
@@ -220,6 +231,7 @@ class WorkerGroup {
   System* system_;
   ProcessorFactory factory_;
   Edge* out_;
+  const QueryControl* control_ = nullptr;
   sim::VTime initial_clock_;
   std::vector<std::unique_ptr<WorkerInstance>> instances_;
   std::vector<std::thread> threads_;
@@ -239,10 +251,15 @@ class SourceDriver {
   void Start();
   void Join();
 
+  /// Owning query's cancellation/deadline state: a segmenter stops producing
+  /// as soon as the query is no longer live (downstream drains normally).
+  void set_control(const QueryControl* control) { control_ = control; }
+
  private:
   void Run();
 
   System* system_;
+  const QueryControl* control_ = nullptr;
   const storage::Table* table_;
   std::vector<int> col_indices_;
   uint64_t block_rows_;

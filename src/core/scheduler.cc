@@ -80,7 +80,12 @@ void QueryScheduler::AdmitLocked(sim::VTime slot_freed_at) {
     const sim::VTime arrival = workload_base_ + task->opts.arrival_offset;
     const sim::VTime start = sim::MaxT(arrival, slot_freed_at);
     task->queue_wait = start - arrival;
-    const QuerySession session{task->id, start};
+    if (task->opts.deadline >= 0) {
+      // The deadline is a budget from arrival; the session-local execution
+      // bound is whatever the admission queue left of it.
+      task->control.deadline = task->opts.deadline - task->queue_wait;
+    }
+    const QuerySession session{task->id, start, &task->control};
     task->worker = std::thread([this, task, session] { RunTask(task, session); });
   }
 }
@@ -88,25 +93,122 @@ void QueryScheduler::AdmitLocked(sim::VTime slot_freed_at) {
 void QueryScheduler::RunTask(Task* task, QuerySession session) {
   QueryExecutor executor(system_);
   QueryResult result;
-  if (task->opts.policy.has_value()) {
-    result = executor.ExecutePlan(
-        task->spec,
-        plan::BuildHetPlan(task->spec, *task->opts.policy, system_->topology()),
-        session);
-  } else {
-    plan::OptimizeResult optimized;
-    const Status st = executor.OptimizeAt(task->spec, plan::ExecPolicy{},
-                                          session.epoch, &optimized);
-    if (!st.ok()) {
-      result.status = st;
-    } else {
-      result = executor.ExecutePlan(task->spec, optimized.best().plan, session);
+  const sim::VTime deadline = task->opts.deadline;
+
+  // Degraded-mode recovery loop. Transient faults (kUnavailable /
+  // kResourceExhausted) retry the whole query with exponential virtual-time
+  // backoff; a device loss re-plans on the surviving device set (optimizer
+  // path only — a pinned policy has no freedom to re-place). Cancellation and
+  // deadlines are terminal. Every attempt runs under the same query id and
+  // control block; only the attempt epoch shifts by the accumulated backoff.
+  int retries = 0;
+  bool replanned = false;
+  Status first_fault = Status::OK();
+  std::vector<int> exclude_gpus;
+  sim::VTime backoff = 0;
+
+  for (;;) {
+    if (task->control.cancelled.load(std::memory_order_relaxed)) {
+      result = QueryResult{};
+      result.status = Status::Cancelled("query cancelled");
+      break;
     }
+    if (deadline >= 0 && task->queue_wait + backoff >= deadline) {
+      result = QueryResult{};
+      result.status = Status::DeadlineExceeded(
+          "virtual-time deadline expired before the query could " +
+          std::string(retries > 0 || replanned ? "be retried" : "start"));
+      break;
+    }
+    QuerySession attempt = session;
+    attempt.epoch = session.epoch + backoff;
+    task->control.deadline =
+        deadline >= 0 ? deadline - task->queue_wait - backoff : -1;
+    task->control.deadline_hit.store(false, std::memory_order_relaxed);
+
+    if (task->opts.policy.has_value()) {
+      result = executor.ExecutePlan(
+          task->spec,
+          plan::BuildHetPlan(task->spec, *task->opts.policy,
+                             system_->topology()),
+          attempt);
+    } else {
+      plan::OptimizeResult optimized;
+      const Status st = executor.OptimizeAt(
+          task->spec, plan::ExecPolicy{}, attempt.epoch, &optimized,
+          exclude_gpus.empty() ? nullptr : &exclude_gpus);
+      if (!st.ok()) {
+        result = QueryResult{};
+        result.status = st;
+        break;
+      }
+      result = executor.ExecutePlan(task->spec, optimized.best().plan, attempt);
+    }
+    result.modeled_seconds += backoff;  // the client waited out the backoff too
+
+    // Authoritative terminal stamp: cooperative cancellation/deadline stops
+    // may leave a cleanly-joined graph with partial rows and an OK status —
+    // the scheduler, not the graph, owns the terminal state.
+    if (task->control.cancelled.load(std::memory_order_relaxed)) {
+      const Status st = Status::Cancelled("query cancelled");
+      result = QueryResult{};
+      result.status = st;
+      break;
+    }
+    if (deadline >= 0 &&
+        (task->control.deadline_hit.load(std::memory_order_relaxed) ||
+         (result.status.ok() &&
+          task->queue_wait + result.modeled_seconds > deadline))) {
+      const sim::VTime late = task->queue_wait + result.modeled_seconds;
+      result = QueryResult{};
+      result.status = Status::DeadlineExceeded(
+          "query finished at virtual time " + std::to_string(late) +
+          " past its deadline of " + std::to_string(deadline));
+      break;
+    }
+    if (result.status.ok()) break;
+    const StatusCode code = result.status.code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      break;
+    }
+    if (first_fault.ok()) first_fault = result.status;
+
+    if (code == StatusCode::kDeviceLost && !task->opts.policy.has_value()) {
+      // Re-plan on the surviving device set. Conservative exclusion: every
+      // GPU whose loss window is active at — or opens after — this attempt's
+      // epoch is out (a device that dies mid-query would just fail us again).
+      const size_t before = exclude_gpus.size();
+      for (int g : system_->fault().GpusLostOnOrAfter(attempt.epoch)) {
+        if (std::find(exclude_gpus.begin(), exclude_gpus.end(), g) ==
+            exclude_gpus.end()) {
+          exclude_gpus.push_back(g);
+        }
+      }
+      if (exclude_gpus.size() == before || retries >= options_.max_retries) {
+        break;  // nothing new to exclude (or out of attempts): fault is terminal
+      }
+      ++retries;
+      replanned = true;
+      continue;
+    }
+    if (IsTransientFault(code) && retries < options_.max_retries) {
+      ++retries;
+      backoff += options_.retry_backoff_base *
+                 static_cast<sim::VTime>(1ull << (retries - 1));
+      continue;
+    }
+    break;  // non-recoverable (or retry budget spent): surface the fault
   }
+
   result.query_id = session.query_id;
   result.arrival_offset = task->opts.arrival_offset;
   result.session_epoch = session.epoch;
   result.queue_wait = task->queue_wait;
+  result.retries = retries;
+  result.replanned = replanned;
+  result.degraded = retries > 0 || replanned;
+  result.fault = first_fault;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -147,6 +249,38 @@ QueryResult QueryScheduler::Wait(QueryHandle handle) {
   lock.unlock();
   if (worker.joinable()) worker.join();
   return result;
+}
+
+Status QueryScheduler::Cancel(QueryHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(handle.id);
+  if (it == tasks_.end()) {
+    return Status::InvalidArgument("unknown or already-waited query handle " +
+                                   std::to_string(handle.id));
+  }
+  Task* task = it->second.get();
+  if (task->done) return Status::OK();  // finished first: nothing to cancel
+
+  const auto queued = std::find(waiting_.begin(), waiting_.end(), task);
+  if (queued != waiting_.end()) {
+    // Never admitted: terminate in place. No slot or budget was consumed, but
+    // a cancelled queue head may have been the admission blocker — re-admit.
+    waiting_.erase(queued);
+    task->control.cancelled.store(true, std::memory_order_relaxed);
+    task->result.status =
+        Status::Cancelled("query cancelled while queued for admission");
+    task->result.query_id = task->id;
+    task->result.arrival_offset = task->opts.arrival_offset;
+    task->done = true;
+    AdmitLocked(/*slot_freed_at=*/-1.0);
+    done_cv_.notify_all();
+    return Status::OK();
+  }
+  // Running: cooperative stop. Segmenters quit, edges drop messages, blocked
+  // staging acquisitions observing this flag wake with kCancelled; RunTask
+  // stamps the terminal status.
+  task->control.cancelled.store(true, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 int QueryScheduler::in_flight() const {

@@ -27,6 +27,12 @@ struct SubmitOptions {
 
   /// Admission-control staging-block budget override (0 = scheduler default).
   uint64_t memory_budget_blocks = 0;
+
+  /// Virtual-time budget measured from the query's arrival, including the
+  /// admission queue wait: a query whose `queue_wait + modeled_seconds` would
+  /// exceed it terminates with kDeadlineExceeded (cooperatively — workers
+  /// drain, resources release, no partial rows are reported). Negative = none.
+  sim::VTime deadline = -1;
 };
 
 /// \brief Concurrent query scheduler: N queries in flight against one System,
@@ -55,6 +61,13 @@ class QueryScheduler {
     /// Default per-query staging-block budget charged against the host arenas
     /// at admission. 0 = total host arena blocks / max_concurrent.
     uint64_t memory_budget_blocks = 0;
+    /// Degraded-mode recovery: attempts re-executed after a transient fault
+    /// (kUnavailable / kResourceExhausted) or a device loss before the fault
+    /// becomes the query's terminal status.
+    int max_retries = 3;
+    /// Virtual-time backoff before retry attempt k: base * 2^(k-1), added to
+    /// the attempt's session epoch (and to the reported modeled latency).
+    sim::VTime retry_backoff_base = 1e-3;
   };
 
   explicit QueryScheduler(System* system) : QueryScheduler(system, Options()) {}
@@ -66,6 +79,14 @@ class QueryScheduler {
 
   QueryHandle Submit(const plan::QuerySpec& spec, SubmitOptions opts = {});
   QueryResult Wait(QueryHandle handle);
+
+  /// Requests cancellation. A still-queued query terminates immediately with
+  /// kCancelled (its admission slot and budget are never consumed); a running
+  /// query stops cooperatively — segmenters quit producing, edges drop
+  /// messages, blocked staging acquisitions wake — and reports kCancelled
+  /// through Wait(). A finished query is left untouched. Returns
+  /// InvalidArgument for unknown handles, OK otherwise (idempotent).
+  Status Cancel(QueryHandle handle);
 
   /// Queries currently executing / waiting for admission.
   int in_flight() const;
@@ -85,6 +106,7 @@ class QueryScheduler {
     SubmitOptions opts;
     uint64_t budget = 0;
     sim::VTime queue_wait = 0;  ///< virtual admission delay (set at admission)
+    QueryControl control;       ///< cancellation/deadline state (stable address)
     QueryResult result;
     bool done = false;
     bool claimed = false;  ///< a Wait() call owns this handle

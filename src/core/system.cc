@@ -6,9 +6,11 @@ System::System() : System(Options{}) {}
 
 System::System(Options options)
     : topology_(options.topology),
+      fault_(options.faults),
       memory_(topology_),
       blocks_(topology_, options.blocks),
       tier_policy_(options.tier_policy) {
+  blocks_.set_fault_injector(&fault_);
   dma_ = std::make_unique<sim::DmaEngine>(&topology_);
   for (int g = 0; g < topology_.num_gpus(); ++g) {
     gpus_.push_back(
@@ -16,6 +18,7 @@ System::System(Options options)
   }
   if (options.codegen.enabled) {
     kernel_cache_ = std::make_unique<jit::KernelCache>(options.codegen);
+    kernel_cache_->set_fault_injector(&fault_);
   }
 }
 
@@ -30,7 +33,19 @@ std::unique_ptr<jit::DeviceProvider> System::MakeProvider(sim::DeviceId device) 
   }
   provider->set_tier_policy(tier_policy_);
   provider->set_kernel_cache(kernel_cache_.get());
+  provider->set_fault_injector(&fault_);
   return provider;
+}
+
+std::vector<int> System::AvailableGpusAt(sim::VTime t,
+                                         const std::vector<int>& exclude) const {
+  std::vector<int> out;
+  for (int g = 0; g < topology_.num_gpus(); ++g) {
+    bool excluded = false;
+    for (int e : exclude) excluded = excluded || e == g;
+    if (!excluded && fault_.GpuAvailableAt(g, t)) out.push_back(g);
+  }
+  return out;
 }
 
 std::vector<sim::MemNodeId> System::HostNodes() const {

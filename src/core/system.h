@@ -12,6 +12,7 @@
 #include "memory/block_manager.h"
 #include "memory/memory_manager.h"
 #include "sim/dma_engine.h"
+#include "sim/fault.h"
 #include "sim/gpu_device.h"
 #include "sim/topology.h"
 #include "storage/table.h"
@@ -38,6 +39,10 @@ class System {
     /// (HETEX_KERNEL_DIR / HETEX_COMPILER_CMD / HETEX_TIER2); codegen is
     /// off unless enabled there or here.
     jit::CodegenOptions codegen = jit::CodegenOptions::FromEnv();
+    /// Fault plane. Defaults to the HETEX_FAULT_* environment knobs; disabled
+    /// unless enabled there or here, and a disabled injector is never
+    /// consulted (zero behavior change on the fault-free path).
+    sim::FaultOptions faults = sim::FaultOptions::FromEnv();
   };
 
   System();  // default Options
@@ -66,6 +71,17 @@ class System {
   /// (see HtRegistry).
   HtRegistry& hts() { return hts_; }
 
+  /// The fault plane + device-health registry (see sim::FaultInjector).
+  /// Always present; disabled by default.
+  sim::FaultInjector& fault() { return fault_; }
+  const sim::FaultInjector& fault() const { return fault_; }
+
+  /// GPUs the health registry considers usable at absolute virtual time `t`,
+  /// minus `exclude` (the scheduler's conservative exclusion set after a
+  /// kDeviceLost failure). All GPUs when the injector is disabled.
+  std::vector<int> AvailableGpusAt(sim::VTime t,
+                                   const std::vector<int>& exclude = {}) const;
+
   /// Creates a provider for a compute device (see jit::DeviceProvider).
   std::unique_ptr<jit::DeviceProvider> MakeProvider(sim::DeviceId device);
 
@@ -93,6 +109,7 @@ class System {
 
  private:
   sim::Topology topology_;
+  sim::FaultInjector fault_;  ///< before blocks_: registered into it at construction
   memory::MemoryRegistry memory_;
   memory::BlockRegistry blocks_;
   std::unique_ptr<sim::DmaEngine> dma_;

@@ -173,6 +173,10 @@ CodegenOptions CodegenOptions::FromEnv() {
   } else {
     o.enabled = dir != nullptr;
   }
+  if (const char* cap = std::getenv("HETEX_KERNEL_DIR_MAX_MB")) {
+    const long long mb = std::atoll(cap);
+    o.max_dir_bytes = mb > 0 ? static_cast<uint64_t>(mb) << 20 : 0;
+  }
   return o;
 }
 

@@ -158,12 +158,16 @@ void CountCodegenFallback();
 ///    vectorizer with a counted reason — never an error.
 ///  - HETEX_TIER2: "0" force-disables tier 2, any other value force-enables it
 ///    (with a default kernel dir when HETEX_KERNEL_DIR is unset).
+///  - HETEX_KERNEL_DIR_MAX_MB: size cap on the kernel directory in MiB; after
+///    every compile the cache evicts whole kernel triples, oldest build first,
+///    until the directory fits. Unset or 0 = unbounded.
 struct CodegenOptions {
   bool enabled = false;
   bool async = true;           ///< compile on the background pool (tests pin sync)
   int compile_threads = 2;
   std::string kernel_dir;      ///< empty = <tmp>/hetex-kernels
   std::string compiler_cmd;    ///< empty = "c++ -O3 -march=native -fPIC -shared"
+  uint64_t max_dir_bytes = 0;  ///< kernel-dir size cap; 0 = unbounded
 
   static CodegenOptions FromEnv();
 };

@@ -275,6 +275,20 @@ void GpuProvider::ReleaseBuffer(memory::Block* block) {
 }
 
 ExecResult GpuProvider::Execute(const PipelineProgram& program, ExecRequest& req) {
+  if (sim::FaultInjector* fault = fault_injector();
+      fault != nullptr && fault->enabled()) {
+    // Device loss / transient launch failure fires before the kernel reserves
+    // anything on the device stream: a failed launch leaves no timeline
+    // residue, and the error drains through the worker group like any runtime
+    // failure.
+    Status st = fault->OnGpuExecute(gpu_->id(), session_epoch() + req.earliest);
+    if (!st.ok()) {
+      ExecResult result;
+      result.status = std::move(st);
+      result.end = req.earliest;
+      return result;
+    }
+  }
   if (req.emit != nullptr) {
     HETEX_CHECK(req.emit->atomic_append)
         << "GPU pipelines append to output blocks with device atomics";

@@ -11,6 +11,7 @@
 #include "jit/program.h"
 #include "memory/block_manager.h"
 #include "memory/memory_manager.h"
+#include "sim/fault.h"
 #include "sim/gpu_device.h"
 #include "sim/topology.h"
 
@@ -130,11 +131,18 @@ class DeviceProvider {
   void set_session_id(uint64_t id) { session_id_ = id; }
   uint64_t session_id() const { return session_id_; }
 
+  /// Attaches the System's fault plane. GpuProvider::Execute consults it for
+  /// scripted device loss and transient kernel-launch failures; null or
+  /// disabled = no checks (byte-identical fault-free behavior).
+  void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+  sim::FaultInjector* fault_injector() const { return fault_; }
+
  private:
   TierPolicy tier_policy_ = TierPolicy::kAuto;
   KernelCache* kernel_cache_ = nullptr;
   sim::VTime session_epoch_ = 0.0;
   uint64_t session_id_ = 0;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 /// CPU provider: single-threaded worker pinned to one socket; streaming bandwidth

@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -174,6 +175,25 @@ KernelCache::Counters KernelCache::counters() const {
 
 void KernelCache::Build(const std::shared_ptr<NativeKernel>& kernel,
                         const std::string& source) {
+  if (fault_ != nullptr && fault_->enabled()) {
+    // Injected compile/load failure: identical consequence to a real compiler
+    // failure — the program keeps its fallback tier, queries stay correct.
+    Status st = fault_->OnKernelCompile(kernel->label);
+    if (!st.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.compile_failures;
+      }
+      internal::CountCompileFailure();
+      internal::CountCodegenFallback();
+      HETEX_LOG(Warning) << "native compile failed for pipeline '"
+                         << kernel->label << "': " << st.ToString()
+                         << " (serving fallback tier)";
+      kernel->error = st.ToString();
+      kernel->state.store(NativeKernel::kFailed, std::memory_order_release);
+      return;
+    }
+  }
   if (TryLoadFromDisk(kernel.get(), source)) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -190,7 +210,9 @@ void KernelCache::Build(const std::shared_ptr<NativeKernel>& kernel,
                        << kernel->label << "': " << kernel->error
                        << " (serving fallback tier)";
     kernel->state.store(NativeKernel::kFailed, std::memory_order_release);
+    return;
   }
+  EvictIfNeeded(Stem(kernel->signature));
 }
 
 bool KernelCache::TryLoadFromDisk(NativeKernel* kernel,
@@ -329,6 +351,62 @@ bool KernelCache::CompileToDisk(NativeKernel* kernel,
   kernel->origin = NativeKernel::Origin::kCompiled;
   kernel->state.store(NativeKernel::kReady, std::memory_order_release);
   return true;
+}
+
+void KernelCache::EvictIfNeeded(const std::string& protect_stem) {
+  if (options_.max_dir_bytes == 0) return;
+
+  struct Triple {
+    std::string stem;
+    uint64_t bytes = 0;
+    fs::file_time_type built_at = fs::file_time_type::min();
+  };
+  std::unordered_map<std::string, Triple> triples;
+  uint64_t total = 0;
+  std::error_code ec;
+  fs::directory_iterator it(options_.kernel_dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const fs::path& p = entry.path();
+    std::string stem = (p.parent_path() / p.stem()).string();
+    const std::string name = p.filename().string();
+    if (name.rfind("hx_", 0) != 0) continue;
+    // In-flight temp files (hx_<sig>.so.tmp.<pid>) belong to a racing compile,
+    // not to a finished triple; leave them alone.
+    if (name.find(".tmp.") != std::string::npos) continue;
+    const uint64_t bytes = entry.file_size(ec);
+    if (ec) continue;
+    Triple& t = triples[stem];
+    t.stem = stem;
+    t.bytes += bytes;
+    total += bytes;
+    if (p.extension() == ".so") t.built_at = entry.last_write_time(ec);
+  }
+  if (total <= options_.max_dir_bytes) return;
+
+  std::vector<Triple> victims;
+  victims.reserve(triples.size());
+  for (auto& [stem, t] : triples) {
+    if (stem != protect_stem) victims.push_back(std::move(t));
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Triple& a, const Triple& b) {
+              return a.built_at < b.built_at;  // oldest build evicts first
+            });
+  for (const Triple& victim : victims) {
+    if (total <= options_.max_dir_bytes) break;
+    for (const char* ext : {".so", ".meta", ".cc", ".log"}) {
+      fs::remove(victim.stem + ext, ec);
+    }
+    total -= victim.bytes < total ? victim.bytes : total;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.evictions;
+    }
+    HETEX_LOG(Info) << "kernel cache: evicted " << victim.stem
+                    << ".* (dir over " << options_.max_dir_bytes << " bytes)";
+  }
 }
 
 bool KernelCache::LoadObject(NativeKernel* kernel, const std::string& so_path,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "jit/codegen.h"
+#include "sim/fault.h"
 
 namespace hetex::jit {
 
@@ -51,6 +52,7 @@ class KernelCache {
     uint64_t compiler_invocations = 0; ///< out-of-process compiler executions
     uint64_t compile_failures = 0;     ///< compiler/dlopen failures
     uint64_t rejected_objects = 0;     ///< stale/corrupt objects refused by verify
+    uint64_t evictions = 0;            ///< kernel triples removed by the size cap
   };
 
   explicit KernelCache(CodegenOptions options);
@@ -71,6 +73,11 @@ class KernelCache {
   /// Blocks until no build is queued or running (tests and benchmarks).
   void WaitIdle();
 
+  /// Attaches the System's fault plane: Build() then draws injected compile
+  /// failures (the kernel fails closed to its fallback tier, counted like a
+  /// real compiler failure — never query-fatal). Null / disabled = no checks.
+  void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+
   Counters counters() const;
 
  private:
@@ -86,9 +93,16 @@ class KernelCache {
   bool LoadObject(NativeKernel* kernel, const std::string& so_path,
                   std::string* error);
   std::string Stem(uint64_t signature) const;
+  /// Enforces CodegenOptions::max_dir_bytes on the kernel directory after a
+  /// compile lands: evicts whole hx_* triples, least-recently-built first (.so
+  /// mtime), never the just-written `protect_stem`. An evicted kernel that is
+  /// still loaded in some process keeps running (dlopen holds the mapping);
+  /// the next process simply recompiles it.
+  void EvictIfNeeded(const std::string& protect_stem);
   void WorkerLoop();
 
   CodegenOptions options_;
+  sim::FaultInjector* fault_ = nullptr;
 
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::vector<Entry>> entries_;

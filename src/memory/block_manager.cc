@@ -76,13 +76,26 @@ BlockRegistry::BlockRegistry(const sim::Topology& topo, const Options& options)
   }
 }
 
-Block* BlockRegistry::Acquire(sim::MemNodeId target, sim::MemNodeId requester) {
+Block* BlockRegistry::Acquire(sim::MemNodeId target, sim::MemNodeId requester,
+                              Status* error,
+                              const std::atomic<bool>* cancel) {
+  const auto fail = [&](Status st) -> Block* {
+    if (error != nullptr) *error = std::move(st);
+    return nullptr;
+  };
+  if (fault_ != nullptr && fault_->enabled()) {
+    Status st = fault_->OnStagingAcquire(target);
+    if (!st.ok()) return fail(std::move(st));
+  }
   // Concurrent queries share the arenas: transient exhaustion means another
   // in-flight query holds staging blocks it will release as its pipelines
   // drain. Wait for that backpressure to clear rather than aborting; only a
-  // genuinely wedged arena (budget misconfiguration) is fatal.
+  // genuinely wedged arena (budget misconfiguration) fails the acquisition —
+  // boundedly, with a named status, never a hang.
   const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.acquire_timeout_seconds));
   int attempts = 0;
   while (true) {
     if (target == requester) {
@@ -111,10 +124,19 @@ Block* BlockRegistry::Acquire(sim::MemNodeId target, sim::MemNodeId requester) {
     // after ~5ms of sustained starvation also confiscate prefetch stashes
     // (costing their owners a refill round-trip beats stalling everyone).
     ReclaimNode(target, /*steal_prefetch=*/++attempts > 100);
-    HETEX_CHECK(std::chrono::steady_clock::now() < deadline)
-        << "staging-block arena exhausted on node " << target
-        << " and no in-flight query released memory for 30s — lower the "
-           "scheduler's admission cap or per-query memory budget";
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return fail(Status::Cancelled(
+          "staging-block acquisition abandoned: query cancelled while waiting "
+          "for node " +
+          std::to_string(target)));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return fail(Status::ResourceExhausted(
+          "staging-block arena exhausted on node " + std::to_string(target) +
+          " and no in-flight query released memory within the acquire "
+          "timeout — lower the scheduler's admission cap or per-query memory "
+          "budget"));
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }

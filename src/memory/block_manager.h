@@ -6,8 +6,11 @@
 #include <mutex>
 #include <vector>
 
+#include <atomic>
+
 #include "common/status.h"
 #include "memory/block.h"
+#include "sim/fault.h"
 #include "sim/topology.h"
 
 namespace hetex::memory {
@@ -70,6 +73,11 @@ class BlockRegistry {
     size_t host_arena_blocks = 512;      ///< per host node
     size_t gpu_arena_blocks = 256;       ///< per GPU node
     size_t remote_batch = 8;             ///< blocks fetched per remote round-trip
+    /// Wall-clock bound on the Acquire backpressure wait. An arena that stays
+    /// exhausted this long fails the acquisition with a named
+    /// kResourceExhausted status (propagated into QueryResult::status) instead
+    /// of deadlocking the admission queue.
+    double acquire_timeout_seconds = 30.0;
   };
 
   BlockRegistry(const sim::Topology& topo, const Options& options);
@@ -77,9 +85,23 @@ class BlockRegistry {
   BlockManager& manager(sim::MemNodeId node) { return *managers_.at(node); }
   const Options& options() const { return options_; }
 
+  /// Attaches the System's fault plane: Acquire then consults it for injected
+  /// staging-exhaustion spikes. Null / disabled = no checks.
+  void set_fault_injector(sim::FaultInjector* fault) { fault_ = fault; }
+
   /// Acquires a block on `target` for a caller local to `requester`.
   /// Local requests hit the arena directly; remote requests go through the cache.
-  Block* Acquire(sim::MemNodeId target, sim::MemNodeId requester);
+  ///
+  /// Exhausted arenas back-pressure: the call sweeps reclaimable blocks and
+  /// waits — but boundedly. It returns nullptr (with the named reason in
+  /// `error`, when given) on: a sustained-exhaustion timeout
+  /// (kResourceExhausted), an injected exhaustion spike (kResourceExhausted),
+  /// or a query cancellation observed through `cancel` (kCancelled) — the
+  /// cooperative wake-up that lets a cancelled query stop waiting for memory
+  /// another query holds.
+  Block* Acquire(sim::MemNodeId target, sim::MemNodeId requester,
+                 Status* error = nullptr,
+                 const std::atomic<bool>* cancel = nullptr);
 
   /// Releases a block from a caller local to `requester`; remote releases are
   /// buffered and flushed in batches.
@@ -116,6 +138,7 @@ class BlockRegistry {
   std::vector<std::unique_ptr<BlockManager>> managers_;
   std::vector<RemoteCache> caches_;  ///< indexed [requester * nodes + target]
   std::atomic<uint64_t> remote_roundtrips_{0};
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace hetex::memory

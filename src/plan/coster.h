@@ -1,6 +1,7 @@
 #ifndef HETEX_PLAN_COSTER_H_
 #define HETEX_PLAN_COSTER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,13 @@ struct CosterOptions {
   /// coster adds these to the candidate's own per-socket counts when pricing
   /// CPU fluid shares. Empty = idle server.
   std::vector<int> socket_backlog_workers;
+
+  /// GPUs usable by candidate plans: the System health registry's surviving
+  /// device set at this session's epoch (fault plane: lost devices drop out),
+  /// minus any scheduler re-plan exclusions. nullopt = all topology GPUs (the
+  /// fault-free default — behavior is byte-identical to pre-fault-plane
+  /// optimization). An empty vector forces CPU-only candidates.
+  std::optional<std::vector<int>> available_gpus;
 };
 
 class PlanCoster {

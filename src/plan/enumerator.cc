@@ -30,11 +30,17 @@ std::string Label(const ExecPolicy& p) {
 
 std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
                                           const ExecPolicy& base,
-                                          const sim::Topology& topo) {
+                                          const sim::Topology& topo,
+                                          const std::vector<int>* available_gpus) {
   std::vector<PlanCandidate> out;
   std::set<std::string> seen;
 
   auto add = [&](ExecPolicy policy) {
+    if (available_gpus != nullptr &&
+        policy.mode != ExecPolicy::Mode::kCpuOnly && policy.gpus.empty()) {
+      // "All GPUs" means "all *surviving* GPUs" under a restricted device set.
+      policy.gpus = *available_gpus;
+    }
     PlanCandidate cand;
     cand.label = Label(policy);
     if (!seen.insert(cand.label).second) return;  // deduplicated variant
@@ -54,13 +60,17 @@ std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
 
   // Placement mixes within the base policy's constraints.
   std::vector<ExecPolicy::Mode> mixes;
-  const bool gpus_available = topo.num_gpus() > 0;
+  const bool gpus_available =
+      topo.num_gpus() > 0 &&
+      (available_gpus == nullptr || !available_gpus->empty());
   switch (base.mode) {
     case ExecPolicy::Mode::kCpuOnly:
       mixes = {ExecPolicy::Mode::kCpuOnly};
       break;
     case ExecPolicy::Mode::kGpuOnly:
-      mixes = {ExecPolicy::Mode::kGpuOnly};
+      // A GPU-pinned base with no surviving device yields no candidates — the
+      // optimizer reports the empty space instead of planning onto a lost GPU.
+      if (gpus_available) mixes = {ExecPolicy::Mode::kGpuOnly};
       break;
     case ExecPolicy::Mode::kHybrid:
       mixes = {ExecPolicy::Mode::kCpuOnly};

@@ -34,9 +34,14 @@ struct PlanCandidate {
 /// A base policy with `use_hetexchange == false` pins the bare single-unit
 /// plan (no search: the shape has no exchanges to vary). Every returned
 /// candidate passed ValidateHetPlan.
-std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
-                                          const ExecPolicy& base,
-                                          const sim::Topology& topo);
+///
+/// `available_gpus`, when non-null, restricts GPU placement to that device
+/// subset (the fault plane's surviving-device set): GPU/hybrid candidates pin
+/// their policies to exactly those GPUs, and an empty set degrades the space
+/// to CPU-only shapes. Null = all topology GPUs.
+std::vector<PlanCandidate> EnumeratePlans(
+    const QuerySpec& spec, const ExecPolicy& base, const sim::Topology& topo,
+    const std::vector<int>* available_gpus = nullptr);
 
 }  // namespace hetex::plan
 

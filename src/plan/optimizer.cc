@@ -22,7 +22,12 @@ Status Optimize(const QuerySpec& spec, const ExecPolicy& base,
                 const storage::Catalog& catalog, const sim::Topology& topo,
                 OptimizeResult* out, PlanCoster::Options coster_options) {
   *out = OptimizeResult{};
-  std::vector<PlanCandidate> candidates = EnumeratePlans(spec, base, topo);
+  const std::vector<int>* available_gpus =
+      coster_options.available_gpus.has_value()
+          ? &coster_options.available_gpus.value()
+          : nullptr;
+  std::vector<PlanCandidate> candidates =
+      EnumeratePlans(spec, base, topo, available_gpus);
   if (candidates.empty()) {
     return Status::Internal("optimizer: enumerator produced no candidates");
   }

@@ -1,0 +1,146 @@
+#include "sim/fault.h"
+
+#include <cstdlib>
+
+namespace hetex::sim {
+
+namespace {
+
+double EnvRate(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  const double rate = std::atof(v);
+  if (rate < 0) return 0;
+  return rate > 1 ? 1 : rate;
+}
+
+/// SplitMix64: enough mixing that consecutive operation counters decorrelate.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultOptions FaultOptions::FromEnv() {
+  FaultOptions o;
+  const char* on = std::getenv("HETEX_FAULTS");
+  o.enabled = on != nullptr && std::string(on) != "0" && *on != '\0';
+  if (const char* seed = std::getenv("HETEX_FAULT_SEED");
+      seed != nullptr && *seed != '\0') {
+    o.seed = std::strtoull(seed, nullptr, 10);
+  }
+  o.dma_fault_rate = EnvRate("HETEX_FAULT_DMA");
+  o.kernel_fault_rate = EnvRate("HETEX_FAULT_KERNEL");
+  o.staging_fault_rate = EnvRate("HETEX_FAULT_STAGING");
+  o.compile_fault_rate = EnvRate("HETEX_FAULT_COMPILE");
+  return o;
+}
+
+bool FaultInjector::Draw(Site site, double rate) {
+  if (!options_.enabled || rate <= 0) return false;
+  const uint64_t n =
+      site_ops_[site].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h = Mix(options_.seed ^ Mix(static_cast<uint64_t>(site) ^
+                                             Mix(n)));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+Status FaultInjector::OnDmaTransfer(int link) {
+  if (!Draw(kDma, options_.dma_fault_rate)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.dma_faults;
+  }
+  return Status::Unavailable("injected transient DMA transfer error on link " +
+                             std::to_string(link));
+}
+
+Status FaultInjector::OnGpuExecute(int gpu, VTime at) {
+  if (!options_.enabled) return Status::OK();
+  if (!GpuAvailableAt(gpu, at)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.device_loss_rejections;
+    }
+    return Status::DeviceLost("gpu" + std::to_string(gpu) +
+                              " is marked lost at virtual time " +
+                              std::to_string(at));
+  }
+  if (!Draw(kKernel, options_.kernel_fault_rate)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.kernel_faults;
+  }
+  return Status::Unavailable("injected kernel-launch failure on gpu" +
+                             std::to_string(gpu));
+}
+
+Status FaultInjector::OnStagingAcquire(MemNodeId node) {
+  if (!Draw(kStaging, options_.staging_fault_rate)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.staging_faults;
+  }
+  return Status::ResourceExhausted(
+      "injected staging-block exhaustion spike on node " +
+      std::to_string(node));
+}
+
+Status FaultInjector::OnKernelCompile(const std::string& label) {
+  if (!Draw(kCompile, options_.compile_fault_rate)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.compile_faults;
+  }
+  return Status::Unavailable("injected kernel compile/load failure for '" +
+                             label + "'");
+}
+
+void FaultInjector::LoseGpu(int gpu, VTime from, VTime until) {
+  std::lock_guard<std::mutex> lock(mu_);
+  losses_.push_back(LossWindow{gpu, from, until});
+}
+
+void FaultInjector::RestoreGpu(int gpu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LossWindow> keep;
+  keep.reserve(losses_.size());
+  for (const LossWindow& w : losses_) {
+    if (w.gpu != gpu) keep.push_back(w);
+  }
+  losses_.swap(keep);
+}
+
+bool FaultInjector::GpuAvailableAt(int gpu, VTime t) const {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LossWindow& w : losses_) {
+    if (w.gpu == gpu && t >= w.from && t < w.until) return false;
+  }
+  return true;
+}
+
+std::vector<int> FaultInjector::GpusLostOnOrAfter(VTime t) const {
+  std::vector<int> out;
+  if (!options_.enabled) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LossWindow& w : losses_) {
+    if (w.until <= t) continue;  // the window fully ended: device is back
+    bool seen = false;
+    for (int g : out) seen = seen || g == w.gpu;
+    if (!seen) out.push_back(w.gpu);
+  }
+  return out;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace hetex::sim

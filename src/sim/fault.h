@@ -1,0 +1,123 @@
+#ifndef HETEX_SIM_FAULT_H_
+#define HETEX_SIM_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/topology.h"
+#include "sim/vtime.h"
+
+namespace hetex::sim {
+
+/// \brief Fault-plane configuration (all rates are per-operation probabilities
+/// in [0, 1]; everything is off by default so a fault-free run is byte-identical
+/// to an engine built without the injector).
+///
+/// Env knobs (read by FromEnv, documented next to the tier knobs in ROADMAP):
+///  - HETEX_FAULTS:        "1" enables the injector (0/unset: fully disabled)
+///  - HETEX_FAULT_SEED:    deterministic schedule seed (default 1)
+///  - HETEX_FAULT_DMA:     transient DMA transfer error rate
+///  - HETEX_FAULT_KERNEL:  transient GPU kernel-launch failure rate
+///  - HETEX_FAULT_STAGING: staging-block acquisition failure (exhaustion spike) rate
+///  - HETEX_FAULT_COMPILE: tier-2 kernel compile/load failure rate
+struct FaultOptions {
+  bool enabled = false;
+  uint64_t seed = 1;
+  double dma_fault_rate = 0;
+  double kernel_fault_rate = 0;
+  double staging_fault_rate = 0;
+  double compile_fault_rate = 0;
+
+  static FaultOptions FromEnv();
+};
+
+/// \brief The fault plane: seeded-deterministic transient faults plus a
+/// scripted device-health registry on the absolute virtual timeline.
+///
+/// Owned by System. Every injection site asks the injector before doing real
+/// work and, when a fault fires, returns a *named* Status through the existing
+/// WorkerInstance / Edge error-propagation paths — never an abort. Sites:
+///  - Edge mem-move DMA scheduling          -> kUnavailable ("injected DMA ...")
+///  - GpuProvider::Execute kernel launches  -> kUnavailable / kDeviceLost
+///  - BlockRegistry::Acquire                -> kResourceExhausted
+///  - KernelCache::Build                    -> counted compile failure (the
+///    program serves its fallback tier; a compile fault never fails a query)
+///
+/// Transient schedules are deterministic for a fixed seed: each site draws from
+/// a per-site operation counter hashed with the seed, so the k-th operation of a
+/// site always gets the same verdict (thread interleavings change which logical
+/// operation is k-th, but the fault *pattern* is pinned by the seed).
+///
+/// Device loss is scripted, not drawn: LoseGpu marks a device unavailable for a
+/// window of absolute virtual time. Launches inside the window fail with
+/// kDeviceLost; the scheduler re-plans the query on the surviving device set.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultOptions options) : options_(options) {}
+
+  bool enabled() const { return options_.enabled; }
+  const FaultOptions& options() const { return options_; }
+
+  /// \name Injection sites. All return OK when the injector is disabled or the
+  /// draw passes; a fired fault is counted and returned as a named Status.
+  /// @{
+  Status OnDmaTransfer(int link);
+  /// Checks the device-loss schedule at absolute virtual time `at` first,
+  /// then the transient kernel-launch draw.
+  Status OnGpuExecute(int gpu, VTime at);
+  Status OnStagingAcquire(MemNodeId node);
+  /// Non-empty = the named reason this compile must fail (the kernel cache
+  /// records a counted compile failure and serves the fallback tier).
+  Status OnKernelCompile(const std::string& label);
+  /// @}
+
+  /// \name Scripted device loss / return (absolute virtual time).
+  /// @{
+  static constexpr VTime kForever = 1e30;
+  void LoseGpu(int gpu, VTime from, VTime until = kForever);
+  /// Clears every loss window of `gpu` (the device came back).
+  void RestoreGpu(int gpu);
+  bool GpuAvailableAt(int gpu, VTime t) const;
+  /// GPUs with a loss window at or after `t` — the conservative exclusion set
+  /// the scheduler re-plans against after a kDeviceLost failure (a window that
+  /// fully ended before `t` does not exclude the device).
+  std::vector<int> GpusLostOnOrAfter(VTime t) const;
+  /// @}
+
+  struct Counters {
+    uint64_t dma_faults = 0;
+    uint64_t kernel_faults = 0;
+    uint64_t staging_faults = 0;
+    uint64_t compile_faults = 0;
+    uint64_t device_loss_rejections = 0;  ///< launches refused by the health registry
+  };
+  Counters counters() const;
+
+ private:
+  enum Site : int { kDma = 0, kKernel, kStaging, kCompile, kNumSites };
+
+  /// Deterministic per-site draw: hash(seed, site, n-th operation) < rate.
+  bool Draw(Site site, double rate);
+
+  FaultOptions options_;
+  std::array<std::atomic<uint64_t>, kNumSites> site_ops_{};
+
+  struct LossWindow {
+    int gpu = 0;
+    VTime from = 0;
+    VTime until = kForever;
+  };
+  mutable std::mutex mu_;
+  std::vector<LossWindow> losses_;
+  Counters counters_;
+};
+
+}  // namespace hetex::sim
+
+#endif  // HETEX_SIM_FAULT_H_

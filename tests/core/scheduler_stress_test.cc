@@ -19,6 +19,12 @@
 // CI runs the three pinned seeds below (also under ThreadSanitizer); the
 // FUZZ_ITERS environment knob scales the rounds per seed for longer local
 // soaks without workflow edits.
+//
+// The CI chaos job additionally runs these seeds with HETEX_FAULTS=1: every
+// TestEnv System then inherits the environment's fault schedule. Under
+// injection a query may legally end in a named fault instead of OK, so the
+// OK-status assertions relax to "OK or a named fault" — parity of OK results,
+// the no-regression invariants and namespace cleanup still hold unchanged.
 
 #include <gtest/gtest.h>
 
@@ -56,8 +62,23 @@ struct DrawnQuery {
   plan::QuerySpec spec;
   SubmitOptions opts;
   bool pinned = false;
-  double solo_modeled = 0;  ///< pinned queries only
+  double solo_modeled = -1;  ///< pinned queries only; < 0 = no baseline
 };
+
+/// Under HETEX_FAULTS=1 a query may end in one of the named fault terminals
+/// instead of OK; anything else is a real failure in either mode.
+bool OkOrNamedFault(const Status& s) {
+  if (s.ok()) return true;
+  if (!test::FaultsEnabled()) return false;
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeviceLost:
+      return true;
+    default:
+      return false;
+  }
+}
 
 class SchedulerStressTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -100,19 +121,21 @@ TEST_P(SchedulerStressTest, RandomScheduleKeepsInvariants) {
       batch.push_back(std::move(d));
     }
 
-    // --- Serial baselines.
+    // --- Serial baselines. Under fault injection a baseline run may itself
+    // fault; the scalar reference then stands in for its rows and the latency
+    // comparison for that query is skipped.
     for (auto& d : batch) {
+      if (reference.find(d.spec.name) == reference.end()) {
+        reference[d.spec.name] = env.Reference(d.spec);
+      }
       QueryResult solo = d.pinned ? executor.Execute(d.spec, *d.opts.policy)
                                   : executor.Execute(d.spec);
-      ASSERT_TRUE(solo.status.ok()) << d.spec.name << ": " << solo.status.ToString();
+      ASSERT_TRUE(OkOrNamedFault(solo.status))
+          << d.spec.name << ": " << solo.status.ToString();
+      if (!solo.status.ok()) continue;
       d.solo_modeled = solo.modeled_seconds;
-      auto it = reference.find(d.spec.name);
-      if (it == reference.end()) {
-        reference[d.spec.name] = solo.rows;
-      } else {
-        // Solo runs of the same query under any policy agree with each other.
-        ASSERT_EQ(solo.rows, it->second) << d.spec.name;
-      }
+      // Solo runs of the same query under any policy agree with the reference.
+      ASSERT_EQ(solo.rows, reference[d.spec.name]) << d.spec.name;
     }
 
     // --- The concurrent schedule.
@@ -129,18 +152,22 @@ TEST_P(SchedulerStressTest, RandomScheduleKeepsInvariants) {
     for (size_t i = 0; i < results.size(); ++i) {
       const QueryResult& r = results[i];
       const DrawnQuery& d = batch[i];
-      ASSERT_TRUE(r.status.ok())
+      ASSERT_TRUE(OkOrNamedFault(r.status))
           << "seed " << GetParam() << " round " << round << " " << d.spec.name
           << ": " << r.status.ToString();
 
-      // 1. Row parity vs serial.
-      EXPECT_EQ(r.rows, reference[d.spec.name])
-          << "seed " << GetParam() << " round " << round << " " << d.spec.name;
+      // 1. Row parity vs the reference — whenever the query completed, even
+      // degraded (recovery must be bit-transparent).
+      if (r.status.ok()) {
+        EXPECT_EQ(r.rows, reference[d.spec.name])
+            << "seed " << GetParam() << " round " << round << " " << d.spec.name;
+      }
 
       // 2. Contention never speeds up (pinned plans only — the optimizer may
-      // legitimately pick a different plan under load). 2% tolerance for the
-      // per-run jitter of one query's own concurrent producers.
-      if (d.pinned) {
+      // legitimately pick a different plan under load; retries only add
+      // backoff on top). 2% tolerance for the per-run jitter of one query's
+      // own concurrent producers.
+      if (d.pinned && r.status.ok() && d.solo_modeled >= 0) {
         EXPECT_GE(r.modeled_seconds, d.solo_modeled * 0.98)
             << "seed " << GetParam() << " round " << round << " " << d.spec.name
             << " concurrent " << r.modeled_seconds << " vs solo "

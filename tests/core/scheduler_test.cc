@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "test_util.h"
@@ -437,6 +439,149 @@ TEST(SchedulerTest, ConcurrentSessionsOnOneSocketEachGetReducedShare) {
   EXPECT_EQ(rb.rows, solo.rows);
   EXPECT_GE(ra.modeled_seconds, solo.modeled_seconds * 0.98);
   EXPECT_GE(rb.modeled_seconds, solo.modeled_seconds * 0.98);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines against the admission queue.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, CancelWhileQueuedFreesSlotWithoutStarting) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+  const auto spec = env.ssb->Query(3, 1);
+  const auto expected = env.Reference(spec);
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+
+  QueryHandle a = scheduler.Submit(spec, opts);
+  QueryHandle b = scheduler.Submit(spec, opts);
+  QueryHandle c = scheduler.Submit(spec, opts);
+  EXPECT_TRUE(scheduler.Cancel(b).ok());
+
+  // The cancelled query terminates in place: it never held a slot or budget,
+  // never opened a session, never produced a row.
+  QueryResult rb = scheduler.Wait(b);
+  EXPECT_EQ(rb.status.code(), StatusCode::kCancelled) << rb.status.ToString();
+  EXPECT_TRUE(rb.rows.empty());
+  EXPECT_EQ(rb.retries, 0);
+  EXPECT_FALSE(rb.degraded);
+  EXPECT_EQ(env.system->hts().NumTables(rb.query_id), 0);
+
+  // Admission moves on past the hole: both survivors run to completion.
+  QueryResult ra = scheduler.Wait(a);
+  QueryResult rc = scheduler.Wait(c);
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+  ASSERT_TRUE(rc.status.ok()) << rc.status.ToString();
+  EXPECT_EQ(ra.rows, expected);
+  EXPECT_EQ(rc.rows, expected);
+}
+
+TEST(SchedulerTest, CancelRunningQueryStopsCooperativelyAndReleasesAll) {
+  TestEnv env(60'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+  const auto spec = env.ssb->Query(2, 1);
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+
+  QueryHandle a = scheduler.Submit(spec, opts);
+  EXPECT_TRUE(scheduler.Cancel(a).ok());
+  QueryResult ra = scheduler.Wait(a);
+  EXPECT_EQ(ra.status.code(), StatusCode::kCancelled) << ra.status.ToString();
+  EXPECT_TRUE(ra.rows.empty());  // the authoritative stamp clears partials
+
+  // Everything the aborted run held is back: staging blocks, HT namespaces,
+  // DRAM registrations — and the scheduler keeps serving queries.
+  for (sim::MemNodeId node : env.system->HostNodes()) {
+    EXPECT_EQ(env.system->blocks().manager(node).in_use(), 0u);
+  }
+  for (sim::MemNodeId node : env.system->GpuNodes()) {
+    EXPECT_EQ(env.system->blocks().manager(node).in_use(), 0u);
+  }
+  EXPECT_EQ(env.system->hts().TotalHtBytes(), 0u);
+
+  QueryResult after = scheduler.Wait(scheduler.Submit(spec, opts));
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(after.rows, env.Reference(spec));
+}
+
+TEST(SchedulerTest, CancelUnknownAndFinishedHandles) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+  EXPECT_EQ(scheduler.Cancel(QueryHandle{424242}).code(),
+            StatusCode::kInvalidArgument);
+  const auto spec = env.ssb->Query(1, 1);
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+
+  // Finished-but-unwaited: Cancel is an OK no-op, the result survives intact.
+  QueryHandle h = scheduler.Submit(spec, opts);
+  while (scheduler.in_flight() > 0 || scheduler.queued() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(scheduler.Cancel(h).ok());
+  QueryResult r = scheduler.Wait(h);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows, env.Reference(spec));
+
+  // Waited handles are gone: cancelling one is InvalidArgument, idempotently.
+  EXPECT_EQ(scheduler.Cancel(h).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, DeadlineExpiredInQueueNeverExecutes) {
+  TestEnv env(20'000);
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+  const auto spec = env.ssb->Query(2, 1);
+  SubmitOptions opts;
+  opts.policy = PinnedHybrid();
+
+  QueryHandle a = scheduler.Submit(spec, opts);  // occupies the only slot
+  SubmitOptions hopeless = opts;
+  hopeless.deadline = 1e-9;  // far below any possible queue wait
+  QueryHandle b = scheduler.Submit(spec, hopeless);
+
+  QueryResult rb = scheduler.Wait(b);
+  EXPECT_EQ(rb.status.code(), StatusCode::kDeadlineExceeded)
+      << rb.status.ToString();
+  EXPECT_TRUE(rb.rows.empty());
+  EXPECT_EQ(rb.retries, 0);
+  // Almost always b queues behind a and the deadline expires in the queue —
+  // then it must never have started executing. (If a's worker happened to
+  // finish on the wall clock before b's submission, the server went idle, b
+  // ran immediately and the deadline killed it mid-flight instead; both are
+  // correct terminal paths.)
+  if (rb.queue_wait > 0) EXPECT_EQ(rb.modeled_seconds, 0.0);
+  QueryResult ra = scheduler.Wait(a);
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+}
+
+TEST(SchedulerTest, DeadlineDuringExecutionAndGenerousDeadline) {
+  TestEnv env(30'000);
+  QueryExecutor executor(env.system.get());
+  const auto spec = env.ssb->Query(2, 1);
+  const ExecPolicy policy = PinnedHybrid();
+  QueryResult solo = executor.Execute(spec, policy);
+  ASSERT_TRUE(solo.status.ok()) << solo.status.ToString();
+
+  QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+  SubmitOptions opts;
+  opts.policy = policy;
+
+  // Half the known solo latency: the query starts, overruns mid-flight, and
+  // terminates with the deadline status and no partial rows.
+  SubmitOptions tight = opts;
+  tight.deadline = solo.modeled_seconds / 2;
+  QueryResult late = scheduler.Wait(scheduler.Submit(spec, tight));
+  EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded)
+      << late.status.ToString();
+  EXPECT_TRUE(late.rows.empty());
+
+  // Ten times the solo latency: the deadline is inert.
+  SubmitOptions loose = opts;
+  loose.deadline = solo.modeled_seconds * 10;
+  QueryResult fine = scheduler.Wait(scheduler.Submit(spec, loose));
+  ASSERT_TRUE(fine.status.ok()) << fine.status.ToString();
+  EXPECT_EQ(fine.rows, solo.rows);
+  EXPECT_FALSE(fine.degraded);
 }
 
 TEST(SchedulerTest, WaitOnUnknownHandleFails) {

@@ -316,6 +316,120 @@ TEST(KernelCacheTest, MissingCompilerFailsClosedWithNamedReason) {
   }
 }
 
+/// A second, structurally different program (distinct source → distinct
+/// signature → its own hx_* triple on disk) for eviction tests.
+PipelineProgram SumProgram() {
+  ProgramBuilder b;
+  const int x = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, x, 0);
+  const int y = b.AllocReg();
+  b.EmitOp(OpCode::kLoadCol, y, 1);
+  const int s = b.AllocReg();
+  b.EmitOp(OpCode::kAdd, s, x, y);
+  b.EmitOp(OpCode::kEmit, s, 1);
+  PipelineProgram p = b.Finalize("kc-sum");
+  p.n_input_cols = 2;
+  p.input_widths = {8, 8};
+  p.finalized = true;
+  return p;
+}
+
+size_t CountSharedObjects(const std::string& dir) {
+  size_t n = 0;
+  if (!fs::exists(dir)) return 0;  // a faulted build never creates the dir
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".so") ++n;
+  }
+  return n;
+}
+
+TEST(KernelCacheTest, SizeCapEvictsOldestTripleAndKeepsLoadedKernelAlive) {
+  const PipelineProgram prog_a = FilterMathProgram();
+  const PipelineProgram prog_b = SumProgram();
+  const GenerateResult gen_a = GenerateSource(prog_a);
+  const GenerateResult gen_b = GenerateSource(prog_b);
+  ASSERT_FALSE(gen_a.source.empty()) << gen_a.reason;
+  ASSERT_FALSE(gen_b.source.empty()) << gen_b.reason;
+
+  CodegenOptions opts = SyncOptions("evict");
+  // A cap below any real object size: every compile that lands evicts every
+  // other triple in the directory (the just-written stem is protected).
+  opts.max_dir_bytes = 1;
+  std::shared_ptr<NativeKernel> kernel_a;
+  {
+    KernelCache cache(opts);
+    kernel_a = cache.GetOrBuild(gen_a, prog_a.label);
+    ASSERT_TRUE(kernel_a->ready()) << kernel_a->error;
+    EXPECT_EQ(cache.counters().evictions, 0u);  // nothing else to evict yet
+
+    auto kernel_b = cache.GetOrBuild(gen_b, prog_b.label);
+    ASSERT_TRUE(kernel_b->ready()) << kernel_b->error;
+    // B's compile pushed the directory over the cap: A's whole triple went.
+    EXPECT_EQ(cache.counters().evictions, 1u);
+    EXPECT_EQ(CountSharedObjects(opts.kernel_dir), 1u);
+  }
+
+  // The evicted-but-loaded kernel keeps executing correctly: dlopen holds the
+  // mapping, only the disk copy is gone.
+  PipelineProgram native_a = prog_a;
+  native_a.native = kernel_a;
+  const auto cols = TestColumns(128);
+  EXPECT_EQ(Execute(prog_a, cols, /*native=*/false).emitted,
+            Execute(native_a, cols, /*native=*/true).emitted);
+
+  // A fresh process stand-in asking for A again finds no disk copy and simply
+  // recompiles — eviction degrades reuse, never correctness.
+  KernelCache fresh(opts);
+  auto kernel_a2 = fresh.GetOrBuild(gen_a, prog_a.label);
+  ASSERT_TRUE(kernel_a2->ready()) << kernel_a2->error;
+  EXPECT_EQ(kernel_a2->origin, NativeKernel::Origin::kCompiled);
+  EXPECT_EQ(fresh.counters().disk_hits, 0u);
+  EXPECT_EQ(fresh.counters().compiles, 1u);
+  EXPECT_EQ(fresh.counters().evictions, 1u);  // B's triple went this time
+  EXPECT_EQ(CountSharedObjects(opts.kernel_dir), 1u);
+}
+
+TEST(KernelCacheTest, UnlimitedDirectoryNeverEvicts) {
+  CodegenOptions opts = SyncOptions("noevict");  // max_dir_bytes == 0
+  KernelCache cache(opts);
+  const PipelineProgram prog_a = FilterMathProgram();
+  const PipelineProgram prog_b = SumProgram();
+  ASSERT_TRUE(cache.GetOrBuild(GenerateSource(prog_a), prog_a.label)->ready());
+  ASSERT_TRUE(cache.GetOrBuild(GenerateSource(prog_b), prog_b.label)->ready());
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  EXPECT_EQ(CountSharedObjects(opts.kernel_dir), 2u);
+}
+
+TEST(KernelCacheTest, InjectedCompileFaultFailsClosedWithoutInstalling) {
+  sim::FaultOptions fopts;
+  fopts.enabled = true;
+  fopts.compile_fault_rate = 1.0;
+  sim::FaultInjector injector(fopts);
+
+  const PipelineProgram program = FilterMathProgram();
+  const GenerateResult gen = GenerateSource(program);
+  ASSERT_FALSE(gen.source.empty()) << gen.reason;
+
+  CodegenOptions opts = SyncOptions("compilefault");
+  KernelCache cache(opts);
+  cache.set_fault_injector(&injector);
+  auto kernel = cache.GetOrBuild(gen, program.label);
+  EXPECT_TRUE(kernel->failed());
+  EXPECT_FALSE(kernel->ready());
+  EXPECT_FALSE(kernel->error.empty());
+  EXPECT_EQ(cache.counters().compile_failures, 1u);
+  EXPECT_EQ(injector.counters().compile_faults, 1u);
+  // The faulted build never reached the compiler or the disk.
+  EXPECT_EQ(cache.counters().compiler_invocations, 0u);
+  EXPECT_EQ(CountSharedObjects(opts.kernel_dir), 0u);
+
+  // The program still answers through its fallback tier (the interpreter runs
+  // it here exactly as the vectorized tier would in the engine).
+  const auto cols = TestColumns(64);
+  const RunOutput interp = Execute(program, cols, /*native=*/false);
+  EXPECT_TRUE(interp.status.ok()) << interp.status.ToString();
+}
+
 /// End-to-end fail-closed discipline: a System configured for tier 2 whose
 /// compiler does not exist still answers queries — served by the vectorizer,
 /// with the failure counted, identical to a codegen-free System.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -162,6 +164,90 @@ TEST_F(BlockRegistryTest, StarvedAcquireReclaimsParkedCacheBlocks) {
   for (Block* b : held) registry_.Release(b, host);
   registry_.FlushReleases();
   EXPECT_EQ(registry_.manager(gpu_node).in_use(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded backpressure: an exhausted arena can delay an Acquire, never hang it.
+// ---------------------------------------------------------------------------
+
+TEST(BlockRegistryBackpressure, SustainedExhaustionTimesOutWithNamedStatus) {
+  sim::Topology topo{sim::Topology::Options{}};
+  BlockRegistry registry(topo,
+                         {.block_bytes = 4096,
+                          .host_arena_blocks = 4,
+                          .gpu_arena_blocks = 4,
+                          .remote_batch = 2,
+                          .acquire_timeout_seconds = 0.2});
+  const sim::MemNodeId host = topo.socket(0).mem;
+  std::vector<Block*> held;
+  for (int i = 0; i < 4; ++i) {
+    Block* b = registry.Acquire(host, host);
+    ASSERT_NE(b, nullptr);
+    held.push_back(b);
+  }
+  // Arena empty, nothing reclaimable anywhere: the wait is bounded and the
+  // failure is a named status, not the old 30 s abort.
+  Status error = Status::OK();
+  Block* starved = registry.Acquire(host, host, &error);
+  EXPECT_EQ(starved, nullptr);
+  EXPECT_EQ(error.code(), StatusCode::kResourceExhausted) << error.ToString();
+
+  // Releasing makes the arena healthy again for the next caller.
+  for (Block* b : held) registry.Release(b, host);
+  Block* again = registry.Acquire(host, host);
+  ASSERT_NE(again, nullptr);
+  registry.Release(again, host);
+  EXPECT_EQ(registry.manager(host).in_use(), 0u);
+}
+
+TEST(BlockRegistryBackpressure, CancelFlagWakesBlockedAcquire) {
+  sim::Topology topo{sim::Topology::Options{}};
+  BlockRegistry registry(topo,
+                         {.block_bytes = 4096,
+                          .host_arena_blocks = 4,
+                          .gpu_arena_blocks = 4,
+                          .remote_batch = 2,
+                          .acquire_timeout_seconds = 30.0});
+  const sim::MemNodeId host = topo.socket(0).mem;
+  std::vector<Block*> held;
+  for (int i = 0; i < 4; ++i) held.push_back(registry.Acquire(host, host));
+
+  std::atomic<bool> cancel{false};
+  Status error = Status::OK();
+  Block* result = nullptr;
+  std::thread blocked([&] {
+    result = registry.Acquire(host, host, &error, &cancel);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel.store(true);
+  blocked.join();  // wakes well before the 30 s bound
+  EXPECT_EQ(result, nullptr);
+  EXPECT_EQ(error.code(), StatusCode::kCancelled) << error.ToString();
+  for (Block* b : held) registry.Release(b, host);
+}
+
+TEST(BlockRegistryBackpressure, InjectedStagingSpikeFailsFastWithoutWaiting) {
+  sim::FaultOptions fopts;
+  fopts.enabled = true;
+  fopts.staging_fault_rate = 1.0;
+  sim::FaultInjector injector(fopts);
+
+  sim::Topology topo{sim::Topology::Options{}};
+  BlockRegistry registry(topo, {.block_bytes = 4096,
+                                .host_arena_blocks = 4,
+                                .gpu_arena_blocks = 4,
+                                .remote_batch = 2});
+  registry.set_fault_injector(&injector);
+  const sim::MemNodeId host = topo.socket(0).mem;
+  const size_t free_before = registry.manager(host).free_blocks();
+
+  Status error = Status::OK();
+  Block* b = registry.Acquire(host, host, &error);
+  EXPECT_EQ(b, nullptr);
+  EXPECT_EQ(error.code(), StatusCode::kResourceExhausted) << error.ToString();
+  EXPECT_EQ(injector.counters().staging_faults, 1u);
+  // The spike rejected the request before touching the (healthy) arena.
+  EXPECT_EQ(registry.manager(host).free_blocks(), free_before);
 }
 
 TEST_F(BlockRegistryTest, ConcurrentAcquireReleaseIsSafe) {

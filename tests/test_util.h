@@ -21,6 +21,15 @@ inline int FuzzIters(int dflt) {
   return v > 0 ? v : dflt;
 }
 
+/// True when the CI chaos job runs the suite under environment-driven fault
+/// injection (HETEX_FAULTS=1). Stress/fuzz assertions that demand an OK status
+/// relax to "OK or a named fault" in that mode — correctness (parity of OK
+/// results, leak-freedom) is still asserted unconditionally.
+inline bool FaultsEnabled() {
+  const char* env = std::getenv("HETEX_FAULTS");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
 /// Small simulated server + tiny SSB database for fast tests.
 struct TestEnv {
   explicit TestEnv(uint64_t lineorder_rows = 40'000, int sockets = 2, int gpus = 2) {
