@@ -355,11 +355,14 @@ int main(int argc, char** argv) {
                   shape.native.first_build_seconds,
                   shape.native.warm_load_seconds,
                   i + 1 < shapes.size() ? "," : "");
-      // The gate rides the fused probe/agg shape: per-tuple control flow is
-      // where specialized native code must beat batch primitives. filter_emit
-      // is a wash by design — tier 1 emits through AppendBatch while tier 2
-      // pays the per-row emit hook — so it informs, it doesn't gate.
-      if (check && shape.name == "filter_probe_agg" && native_speedup < 1.0) {
+      // Gates: the fused probe/agg shape, where per-tuple control flow is
+      // where specialized native code must beat batch primitives — and
+      // filter_emit, where tier 2 batches survivors through AppendBatch in
+      // 512-row chunks (same path tier 1 rides), so native must at least
+      // match the vectorizer there too.
+      if (check &&
+          (shape.name == "filter_probe_agg" || shape.name == "filter_emit") &&
+          native_speedup < 1.0) {
         check_failed = true;
       }
     } else {

@@ -32,6 +32,7 @@
 #include "core/executor.h"
 #include "core/graph_builder.h"
 #include "core/program_cache.h"
+#include "core/scheduler.h"
 #include "core/system.h"
 #include "jit/kernel_cache.h"
 #include "plan/het_plan.h"
@@ -168,11 +169,45 @@ std::vector<SpanTier> CollectSpanTiers(core::System& system,
   return tiers;
 }
 
+/// Serving-layer reuse decisions for one query, against a reuse-enabled
+/// System (shared builds + result cache on): the first run builds and
+/// publishes every join's shared hash tables, the second attaches to them;
+/// the first scheduled submission misses the result cache (and populates
+/// it), the second hits.
+struct ReuseReport {
+  int shared_builds_first = 0;    ///< joins built+published by run 1
+  int shared_attaches_second = 0; ///< joins attached (not rebuilt) by run 2
+  bool cache_hit_second = false;  ///< second submission answered from cache
+  double miss_modeled_s = 0;
+  double hit_modeled_s = 0;
+};
+
+ReuseReport CollectReuse(core::System& reuse_sys, const plan::QuerySpec& spec) {
+  ReuseReport rep;
+  core::QueryExecutor executor(&reuse_sys);
+  const core::QueryResult r1 = executor.Execute(spec);
+  const core::QueryResult r2 = executor.Execute(spec);
+  if (r1.status.ok()) rep.shared_builds_first = r1.shared_builds;
+  if (r2.status.ok()) rep.shared_attaches_second = r2.shared_attaches;
+  core::QueryScheduler scheduler(&reuse_sys);
+  const core::QueryResult miss = scheduler.Wait(scheduler.Submit(spec));
+  const core::QueryResult hit = scheduler.Wait(scheduler.Submit(spec));
+  if (miss.status.ok()) rep.miss_modeled_s = miss.modeled_seconds;
+  if (hit.status.ok()) {
+    rep.cache_hit_second = hit.cache_hit;
+    rep.hit_modeled_s = hit.modeled_seconds;
+  }
+  return rep;
+}
+
 /// Optimizer section: enumerate → cost → rank, then execute every candidate to
 /// put the measured virtual time next to the estimate. Returns false when the
-/// candidate set is empty or no plan could be picked.
-bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
-                     bool json, bool first_json) {
+/// candidate set is empty or no plan could be picked. `reuse_sys` is a
+/// separate reuse-enabled System the serving-layer decisions are reported
+/// against (the main system stays reuse-off, so candidate measurement is
+/// undisturbed).
+bool ReportOptimizer(core::System& system, core::System& reuse_sys,
+                     const plan::QuerySpec& spec, bool json, bool first_json) {
   plan::ExecPolicy base = plan::ExecPolicy::Hybrid(8);
   base.block_rows = 4096;
 
@@ -204,6 +239,8 @@ bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
     rows.push_back({&rc, measured});
   }
 
+  const ReuseReport reuse = CollectReuse(reuse_sys, spec);
+
   if (json) {
     std::printf("%s{\"query\": \"%s\", \"picked\": \"%s\",\n\"spans\": [",
                 first_json ? "" : ",\n", spec.name.c_str(),
@@ -222,7 +259,14 @@ bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
                   rows[i].cand->cost.total, rows[i].measured,
                   i == 0 ? "true" : "false");
     }
-    std::printf("\n]}");
+    std::printf("\n],\n\"reuse\": {\"shared_builds_first_run\": %d, "
+                "\"shared_attaches_second_run\": %d, "
+                "\"cache_hit_second_run\": %s, "
+                "\"cache_miss_modeled_s\": %.9f, "
+                "\"cache_hit_modeled_s\": %.9f}}",
+                reuse.shared_builds_first, reuse.shared_attaches_second,
+                reuse.cache_hit_second ? "true" : "false", reuse.miss_modeled_s,
+                reuse.hit_modeled_s);
   } else {
     std::printf("=== optimizer: %s ===\n%s\n", spec.name.c_str(),
                 opt.cards.ToString().c_str());
@@ -237,6 +281,15 @@ bool ReportOptimizer(core::System& system, const plan::QuerySpec& spec,
                       ? " (measured best)"
                       : "");
     }
+    std::printf("serving-layer reuse (shared builds + result cache on):\n");
+    std::printf("  run 1: built+published %d shared hash table(s)\n",
+                reuse.shared_builds_first);
+    std::printf("  run 2: attached to %d shared hash table(s) (no rebuild)\n",
+                reuse.shared_attaches_second);
+    std::printf("  submit 1: result-cache miss, modeled %.6fs\n",
+                reuse.miss_modeled_s);
+    std::printf("  submit 2: result-cache %s, modeled %.6fs\n",
+                reuse.cache_hit_second ? "hit" : "miss", reuse.hit_modeled_s);
     std::printf("\n");
   }
   return true;
@@ -269,6 +322,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Second System with the serving-layer reuse knobs on; the reuse report runs
+  // here so shared builds / cache insertions never perturb candidate timing on
+  // the main (reuse-off) system.
+  core::System::Options reuse_opts;
+  reuse_opts.reuse.shared_builds = true;
+  reuse_opts.reuse.result_cache = true;
+  core::System reuse_sys(reuse_opts);
+  ssb::Ssb reuse_ssb(opts, &reuse_sys.catalog());
+  for (const char* name : {"lineorder", "date", "customer", "supplier", "part"}) {
+    const Status st = reuse_sys.catalog().at(name).Place(reuse_sys.HostNodes(),
+                                                         &reuse_sys.memory());
+    if (!st.ok()) {
+      std::fprintf(stderr, "place %s (reuse): %s\n", name, st.ToString().c_str());
+      return 1;
+    }
+  }
+
   // Parse "f.i,f.i" into query specs; malformed tokens are reported, not fatal.
   std::vector<plan::QuerySpec> opt_queries;
   for (size_t pos = 0; pos < queries_arg.size();) {
@@ -293,7 +363,9 @@ int main(int argc, char** argv) {
     bool ok = true;
     std::printf("[");
     for (size_t i = 0; i < opt_queries.size(); ++i) {
-      ok = ReportOptimizer(system, opt_queries[i], /*json=*/true, i == 0) && ok;
+      ok = ReportOptimizer(system, reuse_sys, opt_queries[i], /*json=*/true,
+                           i == 0) &&
+           ok;
     }
     std::printf("]\n");
     return ok ? 0 : 1;
@@ -339,7 +411,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (const auto& q : opt_queries) {
-    ok = ReportOptimizer(system, q, /*json=*/false, false) && ok;
+    ok = ReportOptimizer(system, reuse_sys, q, /*json=*/false, false) && ok;
   }
   return ok ? 0 : 1;
 }

@@ -67,6 +67,16 @@ struct QueryResult {
   bool degraded = false;
   Status fault = Status::OK();
   /// @}
+  /// \name Serving-layer reuse accounting (zero/false when reuse is off).
+  /// `cache_hit`: the scheduler answered from the result cache — no plan ran,
+  /// `modeled_seconds` is the cache lookup cost only. `shared_builds` /
+  /// `shared_attaches` count this query's joins that built-and-published vs
+  /// attached-to an already-built shared hash-table replica set.
+  /// @{
+  bool cache_hit = false;
+  int shared_builds = 0;
+  int shared_attaches = 0;
+  /// @}
 };
 
 /// Opaque handle to a query submitted to the concurrent scheduler.

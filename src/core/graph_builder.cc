@@ -439,11 +439,11 @@ struct RuntimeStage {
 class DramPhaseGuard {
  public:
   DramPhaseGuard(sim::Topology* topo, const QuerySession& session,
-                 const std::vector<StageSpec>& stages)
+                 const std::vector<const StageSpec*>& stages)
       : topo_(topo) {
     std::map<int, int> workers;
-    for (const StageSpec& stage : stages) {
-      for (const auto& dev : stage.instances) {
+    for (const StageSpec* stage : stages) {
+      for (const auto& dev : stage->instances) {
         if (dev.is_cpu()) workers[dev.index] += 1;
       }
     }
@@ -619,10 +619,99 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   };
 
   // ------------------------------------------------------------------- builds
+  //
+  // Shared-build promotion (serving layer, off by default): before running the
+  // build stages, each join's content key (table + mutation epoch + build
+  // predicate + key/payload schema + capacity + unit set) is resolved against
+  // the registry's single-flight shared entries. The winner builds normally
+  // into its own namespace and publishes; losers attach the published replicas
+  // into theirs and skip the build stage entirely, gating their probes on the
+  // build's absolute completion epoch instead.
+  struct SharedAcq {
+    std::string key;
+    const StageSpec* stage = nullptr;
+    SharedBuildLease lease;
+    bool published = false;
+  };
+  std::vector<SharedAcq> acqs;
+  std::vector<const StageSpec*> exec_builds;  // stages this query runs itself
+  sim::VTime attach_ready = 0;  // max absolute completion of attached builds
+
+  // Every unpublished build role is failed on exit, success or not: waiters
+  // blocked on this query's in-flight shared builds must always wake, and the
+  // first of them takes over the build (fault failover — a faulted builder
+  // never poisons its attachers).
+  struct SharedBuildGuard {
+    HtRegistry* hts;
+    std::vector<SharedAcq>* acqs;
+    ~SharedBuildGuard() {
+      for (const SharedAcq& acq : *acqs) {
+        if (acq.lease.role == SharedBuildLease::Role::kBuild && !acq.published) {
+          hts->FailShared(acq.key);
+        }
+      }
+    }
+  } shared_guard{&hts, &acqs};
+
+  const bool share_builds = system_->reuse().shared_builds;
+  auto shared_build_key = [&](const StageSpec& stage) {
+    const plan::JoinSpec& j = compiler->spec().joins[stage.span.join_id];
+    const storage::Table* table = system_->catalog().Get(j.build_table);
+    std::ostringstream os;
+    os << j.build_table << "@" << (table != nullptr ? table->mutation_epoch() : 0)
+       << ";bf=" << (j.build_filter != nullptr ? j.build_filter->ToString() : "-")
+       << ";bk=" << j.build_key << ";pay=";
+    for (size_t i = 0; i < j.payload.size(); ++i) {
+      os << (i ? "," : "") << j.payload[i];
+    }
+    os << ";cap=" << compiler->JoinHtCapacity(stage.span.join_id)
+       << ";w=" << compiler->JoinPayloadWidth(stage.span.join_id);
+    // Exact unit-set match: Analyze() proved the build placement covers every
+    // probe unit, so a replica set built for the same units covers them too.
+    std::vector<int> units;
+    for (const auto& dev : stage.instances) units.push_back(HtRegistry::UnitOf(dev));
+    std::sort(units.begin(), units.end());
+    os << ";units=";
+    for (size_t i = 0; i < units.size(); ++i) os << (i ? "," : "") << units[i];
+    return os.str();
+  };
+
+  for (const StageSpec& stage : spec_.build_stages) {
+    // Invalid join stamps (hand-mutated plans) surface through the execution
+    // loop below, exactly as without sharing.
+    if (!share_builds || stage.span.join_id < 0 ||
+        stage.span.join_id >= static_cast<int>(compiler->spec().joins.size())) {
+      exec_builds.push_back(&stage);
+      continue;
+    }
+    SharedAcq acq;
+    acq.stage = &stage;
+    acq.key = shared_build_key(stage);
+    acq.lease = hts.AcquireShared(acq.key, session.query_id, session.control);
+    switch (acq.lease.role) {
+      case SharedBuildLease::Role::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case SharedBuildLease::Role::kAttach:
+        hts.AttachShared(acq.key, session.query_id, stage.span.join_id);
+        attach_ready = sim::MaxT(attach_ready, acq.lease.ready_at);
+        ++result->shared_attaches;
+        break;
+      case SharedBuildLease::Role::kBuild:
+        ++result->shared_builds;
+        exec_builds.push_back(&stage);
+        break;
+      case SharedBuildLease::Role::kPrivate:
+        exec_builds.push_back(&stage);
+        break;
+    }
+    acqs.push_back(std::move(acq));
+  }
+
   {
-    DramPhaseGuard dram(&system_->topology(), session, spec_.build_stages);
+    DramPhaseGuard dram(&system_->topology(), session, exec_builds);
     std::vector<RuntimeStage> builds;
-    for (const StageSpec& stage : spec_.build_stages) {
+    for (const StageSpec* stage_ptr : exec_builds) {
+      const StageSpec& stage = *stage_ptr;
       // Hand-mutated plans reach here through ExecutePlan: a stamped join id
       // the query does not have must surface as a Status, not a crash.
       if (stage.span.join_id < 0 ||
@@ -656,11 +745,33 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       Status st = group_error(*g.group);
       if (!st.ok()) return st;
     }
+    // Cooperative cancellation/deadline stops leave cleanly-joined build
+    // groups with partial hash tables; those must never be published.
+    const bool stopped =
+        session.control != nullptr &&
+        (session.control->cancelled.load(std::memory_order_relaxed) ||
+         session.control->deadline_hit.load(std::memory_order_relaxed));
+    if (!stopped) {
+      for (SharedAcq& acq : acqs) {
+        if (acq.lease.role != SharedBuildLease::Role::kBuild) continue;
+        for (size_t i = 0; i < exec_builds.size(); ++i) {
+          if (exec_builds[i] != acq.stage) continue;
+          hts.PublishShared(acq.key, session.query_id, acq.stage->span.join_id,
+                            session.epoch + builds[i].group->max_end());
+          acq.published = true;
+          break;
+        }
+      }
+    }
   }
 
-  // Probe-side clocks start at the hash-table completion watermark.
+  // Probe-side clocks start at the hash-table completion watermark; attached
+  // builds gate at their absolute completion epoch, translated into this
+  // session's local time (clamped at zero for late arrivals — the artifact
+  // already exists, so they pay nothing).
   const sim::VTime probe_start =
-      sim::MaxT(init_clock, hts.build_done(session.query_id));
+      sim::MaxT(sim::MaxT(init_clock, hts.build_done(session.query_id)),
+                attach_ready - session.epoch);
 
   // -------------------------------------------------------------- fact stages
   std::vector<CompiledPipeline> pipelines;
@@ -671,7 +782,9 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
 
   // Instantiation runs consumer→producer: each group needs its downstream edge,
   // each edge needs its consumer group's instances.
-  DramPhaseGuard dram(&system_->topology(), session, spec_.fact_stages);
+  std::vector<const StageSpec*> fact_stage_ptrs;
+  for (const StageSpec& stage : spec_.fact_stages) fact_stage_ptrs.push_back(&stage);
+  DramPhaseGuard dram(&system_->topology(), session, fact_stage_ptrs);
   std::vector<RuntimeStage> stages;
   Edge* downstream = nullptr;
   for (size_t i = 0; i < spec_.fact_stages.size(); ++i) {

@@ -1,17 +1,36 @@
 #ifndef HETEX_CORE_HT_REGISTRY_H_
 #define HETEX_CORE_HT_REGISTRY_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
+#include "core/query_control.h"
 #include "jit/hash_table.h"
 #include "sim/topology.h"
 #include "sim/vtime.h"
 
 namespace hetex::core {
+
+/// Outcome of HtRegistry::AcquireShared — the caller's role for one join's
+/// shared-build entry.
+struct SharedBuildLease {
+  enum class Role {
+    kBuild,      ///< caller won the single-flight race: build, then publish/fail
+    kAttach,     ///< replicas are ready: alias them, skip the build stage
+    kPrivate,    ///< sharing not possible (self-conflict): build privately
+    kCancelled,  ///< caller was cancelled while waiting for an in-flight build
+  };
+  Role role = Role::kPrivate;
+  /// kAttach only: absolute virtual time the build completed at. Attachers
+  /// arriving earlier wait until this epoch (charged to their modeled
+  /// latency); attachers arriving later pay nothing — the artifact exists.
+  sim::VTime ready_at = 0;
+};
 
 /// \brief Join hash tables shared between build and probe pipelines, keyed by
 /// (query, join id, device unit). A "unit" is one CPU socket or one GPU — the
@@ -23,6 +42,19 @@ namespace hetex::core {
 /// The per-query build-completion watermark (the virtual time probe pipelines
 /// gate on) is namespaced the same way. `DropQuery` releases a finished query's
 /// tables and watermark.
+///
+/// \par Shared-build promotion (cross-query reuse)
+/// When the serving layer enables it, read-only replica sets are additionally
+/// registered under a *content key* (table + mutation epoch + build predicate
+/// + key/payload schema + capacity + unit set) with single-flight build
+/// deduplication: the first query to AcquireShared a key becomes the builder
+/// (Role::kBuild) and must later PublishShared or FailShared; concurrent
+/// queries on the same key block until the build resolves and then attach
+/// (Role::kAttach) — AttachShared aliases the shared replicas into their own
+/// query namespace, so probe-side Get() is reuse-agnostic. A failed build
+/// wakes the waiters and promotes exactly one of them to builder (fault
+/// failover without poisoning the attachers). Tables are reference-counted:
+/// DropQuery only releases a query's aliases, never a live shared replica.
 class HtRegistry {
  public:
   /// Unit key of a device: sockets and GPUs occupy disjoint ranges.
@@ -46,10 +78,46 @@ class HtRegistry {
     return it != build_done_.end() ? it->second : 0.0;
   }
 
-  /// Releases every hash table and the watermark of a finished query.
+  /// Releases every hash table (alias) and the watermark of a finished query.
   void DropQuery(uint64_t query);
 
-  /// Total bytes across all in-flight queries' tables (admission diagnostics).
+  /// \name Shared-build promotion
+  /// @{
+
+  /// Resolves `query`'s role for the content key: builder (first claimant, or
+  /// failover claimant after a failed build), attacher (replicas ready), or
+  /// private (the same query already builds this key — a query cannot wait on
+  /// itself). Blocks while another query's build is in flight; `control`
+  /// (nullable) lets a cancelled waiter bail out with Role::kCancelled.
+  SharedBuildLease AcquireShared(const std::string& content_key, uint64_t query,
+                                 const QueryControl* control);
+
+  /// Builder success: shares the replicas `query` built for `join_id` under
+  /// the key (the builder's own namespace keeps its aliases) and wakes the
+  /// waiters. `ready_at` is the absolute virtual completion of the build.
+  void PublishShared(const std::string& content_key, uint64_t query,
+                     int join_id, sim::VTime ready_at);
+
+  /// Builder failure: marks the entry failed and wakes the waiters; the first
+  /// to re-acquire is promoted to builder (counted as a failover).
+  void FailShared(const std::string& content_key);
+
+  /// Attacher: aliases the key's ready replicas into `query`'s namespace as
+  /// `join_id`, so the query's probe pipelines Get() them like its own.
+  /// Returns the number of replicas aliased.
+  int AttachShared(const std::string& content_key, uint64_t query, int join_id);
+
+  struct SharedStats {
+    uint64_t builds = 0;     ///< single-flight builds won (incl. failovers)
+    uint64_t attaches = 0;   ///< queries that attached instead of building
+    uint64_t failovers = 0;  ///< builder promotions after a failed build
+  };
+  SharedStats shared_stats() const;
+  int NumSharedEntries() const;
+  /// @}
+
+  /// Total bytes across all live tables, shared replicas counted once
+  /// (admission diagnostics).
   uint64_t TotalHtBytes() const;
   /// Tables currently registered for `query` (tests/diagnostics).
   int NumTables(uint64_t query) const;
@@ -57,9 +125,20 @@ class HtRegistry {
  private:
   using Key = std::tuple<uint64_t, int, int>;  // (query, join id, unit)
 
+  struct SharedEntry {
+    enum class State { kBuilding, kReady, kFailed };
+    State state = State::kBuilding;
+    uint64_t builder = 0;  ///< query currently holding the build role
+    sim::VTime ready_at = 0;
+    std::map<int, std::shared_ptr<jit::JoinHashTable>> replicas;  // unit -> ht
+  };
+
   mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<jit::JoinHashTable>> tables_;
+  std::condition_variable shared_cv_;
+  std::map<Key, std::shared_ptr<jit::JoinHashTable>> tables_;
   std::map<uint64_t, sim::VTime> build_done_;
+  std::map<std::string, SharedEntry> shared_;
+  SharedStats shared_stats_;
 };
 
 }  // namespace hetex::core

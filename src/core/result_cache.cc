@@ -1,0 +1,84 @@
+#include "core/result_cache.h"
+
+#include <cstdlib>
+
+namespace hetex::core {
+
+ReuseOptions ReuseOptions::FromEnv() {
+  ReuseOptions reuse;
+  if (const char* env = std::getenv("HETEX_SHARED_BUILDS")) {
+    reuse.shared_builds = std::atoi(env) != 0;
+  }
+  if (const char* env = std::getenv("HETEX_RESULT_CACHE_MB")) {
+    const long mb = std::atol(env);
+    if (mb > 0) {
+      reuse.result_cache = true;
+      reuse.result_cache_bytes = static_cast<uint64_t>(mb) << 20;
+    }
+  }
+  return reuse;
+}
+
+uint64_t ResultCache::RowBytes(const std::vector<std::vector<int64_t>>& rows) {
+  uint64_t bytes = sizeof(Entry);  // floor so empty results still have weight
+  for (const auto& row : rows) bytes += row.size() * sizeof(int64_t);
+  return bytes;
+}
+
+bool ResultCache::Lookup(const std::string& key,
+                         std::vector<std::vector<int64_t>>* rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  *rows = it->second.rows;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         const std::vector<std::vector<int64_t>>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  const uint64_t entry_bytes = RowBytes(rows);
+  if (entry_bytes > max_bytes_) return;  // never evict everything for one entry
+  while (bytes_ + entry_bytes > max_bytes_ && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.rows = rows;
+  entry.bytes = entry_bytes;
+  entry.lru_it = lru_.begin();
+  bytes_ += entry_bytes;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+}  // namespace hetex::core

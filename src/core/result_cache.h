@@ -1,0 +1,86 @@
+#ifndef HETEX_CORE_RESULT_CACHE_H_
+#define HETEX_CORE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hetex::core {
+
+/// Serving-layer reuse knobs (System::Options::reuse). Everything defaults to
+/// off: a System with reuse disabled behaves bit-identically to one built
+/// before the serving layer existed (test-pinned).
+struct ReuseOptions {
+  /// Cross-query shared hash-table builds: content-keyed read-only replica
+  /// sets with single-flight build deduplication (see HtRegistry).
+  bool shared_builds = false;
+  /// Cross-query result cache keyed by canonical QuerySpec + table mutation
+  /// epochs (see ResultCache / QueryScheduler).
+  bool result_cache = false;
+  /// LRU capacity of the result cache in row bytes.
+  uint64_t result_cache_bytes = 64ull << 20;
+
+  /// Environment knobs: HETEX_SHARED_BUILDS=1 enables shared builds,
+  /// HETEX_RESULT_CACHE_MB=N (N > 0) enables the result cache with an N MiB
+  /// byte cap. Both absent/0 = everything off.
+  static ReuseOptions FromEnv();
+};
+
+/// \brief Bounded cross-query result cache: canonical key -> result rows.
+///
+/// Keys embed the canonicalized QuerySpec plus the mutation epoch of every
+/// table the query reads, so a table mutation changes the key and the stale
+/// entry simply ages out of the LRU — invalidation without a scan. Entries
+/// are charged by row bytes against `max_bytes`; insertion evicts
+/// least-recently-used entries until the new entry fits (an entry larger than
+/// the whole cache is never admitted). Thread-safe.
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit ResultCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True on hit; copies the cached rows into `*rows` and refreshes recency.
+  bool Lookup(const std::string& key, std::vector<std::vector<int64_t>>* rows);
+
+  /// Caches `rows` under `key`. A key already present just refreshes recency
+  /// (concurrent identical queries race to insert the same rows).
+  void Insert(const std::string& key,
+              const std::vector<std::vector<int64_t>>& rows);
+
+  Stats stats() const;
+  uint64_t bytes() const;
+  uint64_t max_bytes() const { return max_bytes_; }
+  int entries() const;
+
+ private:
+  struct Entry {
+    std::vector<std::vector<int64_t>> rows;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  static uint64_t RowBytes(const std::vector<std::vector<int64_t>>& rows);
+
+  const uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hetex::core
+
+#endif  // HETEX_CORE_RESULT_CACHE_H_

@@ -7,6 +7,7 @@
 
 #include "core/ht_registry.h"
 #include "core/program_cache.h"
+#include "core/result_cache.h"
 #include "jit/device_provider.h"
 #include "jit/kernel_cache.h"
 #include "memory/block_manager.h"
@@ -43,6 +44,12 @@ class System {
     /// unless enabled there or here, and a disabled injector is never
     /// consulted (zero behavior change on the fault-free path).
     sim::FaultOptions faults = sim::FaultOptions::FromEnv();
+    /// Serving-layer cross-query reuse (shared hash-table builds + result
+    /// cache). Defaults to the HETEX_SHARED_BUILDS / HETEX_RESULT_CACHE_MB
+    /// environment knobs; everything off unless enabled there or here — a
+    /// System with reuse off behaves bit-identically to one without the
+    /// serving layer (test-pinned).
+    ReuseOptions reuse = ReuseOptions::FromEnv();
   };
 
   System();  // default Options
@@ -70,6 +77,11 @@ class System {
   /// Join hash tables of every in-flight query, namespaced by query id
   /// (see HtRegistry).
   HtRegistry& hts() { return hts_; }
+
+  /// Serving-layer reuse knobs this system was built with.
+  const ReuseOptions& reuse() const { return reuse_; }
+  /// Cross-query result cache (null when Options::reuse.result_cache is off).
+  ResultCache* result_cache() { return result_cache_.get(); }
 
   /// The fault plane + device-health registry (see sim::FaultInjector).
   /// Always present; disabled by default.
@@ -118,6 +130,8 @@ class System {
   ProgramCache program_cache_;
   std::unique_ptr<jit::KernelCache> kernel_cache_;
   HtRegistry hts_;
+  ReuseOptions reuse_;
+  std::unique_ptr<ResultCache> result_cache_;
   jit::TierPolicy tier_policy_ = jit::TierPolicy::kAuto;
   std::atomic<uint64_t> next_query_id_{1};
 };

@@ -48,10 +48,22 @@ void HxHookGroupBy(void* ht, int64_t key, const int64_t* vals, int atomic_mode,
   static_cast<AggHashTable*>(ht)->Update(key, vals, atomic_mode != 0, probes);
 }
 
+// Batched emit: column-major lane buffers, identity selection. AppendBatch is
+// byte- and CostStats-identical to n per-row Appends in lane order, so a
+// kernel batching through this hook stays a drop-in for the per-row one.
+void HxHookEmitBatch(void* target, const int64_t* const* vals, int n_vals,
+                     uint64_t n, uint64_t* bytes_written) {
+  sim::CostStats tmp;
+  static_cast<EmitTarget*>(target)->AppendBatch(vals, n_vals, /*sel=*/nullptr,
+                                                n, &tmp);
+  *bytes_written += tmp.bytes_written;
+}
+
 const void* const kHookTable[kHookCount] = {
     reinterpret_cast<const void*>(&HxHookEmit),
     reinterpret_cast<const void*>(&HxHookHtInsert),
     reinterpret_cast<const void*>(&HxHookGroupBy),
+    reinterpret_cast<const void*>(&HxHookEmitBatch),
 };
 
 // ---------------------------------------------------------------------------
@@ -213,6 +225,7 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
   uint64_t cols_used = 0;
   uint32_t probe_slots = 0;
   bool uses_emit = false, uses_insert = false, uses_groupby = false;
+  int emit_sites = 0, bucketed_emits = 0, emit_width = 0;
   for (const Instr& in : code) {
     switch (in.op) {
       case OpCode::kLoadCol:
@@ -235,12 +248,28 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
       case OpCode::kHtLoadPayload:
         probe_slots |= 1u << in.c;
         break;
-      case OpCode::kEmit: uses_emit = true; break;
+      case OpCode::kEmit:
+        uses_emit = true;
+        ++emit_sites;
+        if (in.d != 0) ++bucketed_emits;
+        emit_width = in.b;
+        break;
       case OpCode::kHtInsert: uses_insert = true; break;
       case OpCode::kGroupByAgg: uses_groupby = true; break;
       default: break;
     }
   }
+
+  // Batched emit (single-emit shapes, e.g. filter→emit scans): rows accumulate
+  // in column-major stack buffers and flush through AppendBatch — one hook
+  // crossing and one capacity check per chunk instead of per row. Guarded to
+  // exactly one non-bucketed emit of a bounded width so the buffers stay a few
+  // KiB of stack; every other shape keeps the per-row hook. AppendBatch is
+  // byte- and CostStats-identical to per-row Append, so results don't move.
+  constexpr int kEmitBatchRows = 512;
+  constexpr int kEmitBatchMaxCols = 8;
+  const bool batch_emit = emit_sites == 1 && bucketed_emits == 0 &&
+                          emit_width > 0 && emit_width <= kEmitBatchMaxCols;
 
   std::string out;
   out.reserve(4096 + static_cast<size_t>(n) * 96);
@@ -267,6 +296,7 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
       "  return k;\n"
       "}\n"
       "typedef void (*hx_emit_fn)(void*, const int64_t*, int, uint64_t*);\n"
+      "typedef void (*hx_emit_batch_fn)(void*, const int64_t* const*, int, uint64_t, uint64_t*);\n"
       "typedef void (*hx_insert_fn)(void*, int64_t, const int64_t*);\n"
       "typedef void (*hx_groupby_fn)(void*, int64_t, const int64_t*, int, uint64_t*);\n"
       "}  // namespace\n"
@@ -298,8 +328,19 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
       out += "  const uint64_t hx_s" + S(s) + " = ht_strides[" + S(s) + "];\n";
     }
   }
-  if (uses_emit) {
+  if (uses_emit && !batch_emit) {
     out += "  const hx_emit_fn hx_emit = (hx_emit_fn)hooks[" + S(kHookEmit) + "];\n";
+  }
+  if (batch_emit) {
+    out += "  const hx_emit_batch_fn hx_emit_batch = (hx_emit_batch_fn)hooks[" +
+           S(kHookEmitBatch) + "];\n";
+    for (int c = 0; c < emit_width; ++c) {
+      out += "  int64_t hx_eb" + S(c) + "[" + S(kEmitBatchRows) + "];\n";
+    }
+    out += "  const int64_t* const hx_ebp[" + S(emit_width) + "] = {";
+    for (int c = 0; c < emit_width; ++c) out += (c ? ", " : " ") + std::string("hx_eb") + S(c);
+    out += " };\n";
+    out += "  uint64_t hx_ebn = 0;\n";
   }
   if (uses_insert) {
     out += "  const hx_insert_fn hx_insert = (hx_insert_fn)hooks[" +
@@ -600,6 +641,17 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
         break;
       }
       case OpCode::kEmit: {
+        if (batch_emit) {
+          out += "    {";
+          for (int i = 0; i < in.b; ++i) {
+            out += " hx_eb" + S(i) + "[hx_ebn] = " + RegName(in.a + i) + ";";
+          }
+          out += " hx_ebn += 1;\n";
+          out += "      if (hx_ebn == " + S(kEmitBatchRows) +
+                 ") { hx_emit_batch(emit0, hx_ebp, " + S(in.b) +
+                 ", hx_ebn, &s_bw); hx_ebn = 0; } }\n";
+          break;
+        }
         out += "    {";
         if (in.b > 0) {
           out += " int64_t hx_v[" + S(in.b) + "] = {";
@@ -627,6 +679,12 @@ GenerateResult GenerateSource(const PipelineProgram& program) {
       "   hx_next:;\n"
       "  }\n"
       " hx_done:\n";
+  if (batch_emit) {
+    // Drain the partial chunk on every exit — normal completion and the fault
+    // path both land here, and the interpreter had already emitted these rows.
+    out += "  if (hx_ebn != 0) { hx_emit_batch(emit0, hx_ebp, " +
+           S(emit_width) + ", hx_ebn, &s_bw); hx_ebn = 0; }\n";
+  }
   for (int a = 0; a < program.n_local_accs; ++a) {
     out += "  local_accs[" + S(a) + "] = a" + S(a) + ";\n";
   }

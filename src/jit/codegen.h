@@ -32,7 +32,8 @@ namespace hetex::jit {
 /// ABI version stamped into every generated TU (exported as `hx_abi_version`)
 /// and into the kernel cache's .meta sidecars. Objects built against another
 /// version are never loaded — they recompile instead.
-inline constexpr uint32_t kCodegenAbiVersion = 1;
+/// v2: hook table grew kHookEmitBatch (batched emit for single-emit shapes).
+inline constexpr uint32_t kCodegenAbiVersion = 2;
 
 /// Indices into the flat `stats` counter array a generated kernel accumulates
 /// into. Flat arrays (not structs) keep the generated code free of any layout
@@ -54,6 +55,7 @@ enum : int {
   kHookEmit = 0,     ///< void(void* EmitTarget, const int64_t* vals, int n, uint64_t* bytes_written)
   kHookHtInsert,     ///< void(void* JoinHashTable, int64_t key, const int64_t* payload)
   kHookGroupBy,      ///< void(void* AggHashTable, int64_t key, const int64_t* vals, int atomic, uint64_t* probes)
+  kHookEmitBatch,    ///< void(void* EmitTarget, const int64_t* const* vals (column-major), int n_vals, uint64_t n, uint64_t* bytes_written)
   kHookCount,
 };
 

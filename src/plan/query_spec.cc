@@ -1,0 +1,44 @@
+#include "plan/query_spec.h"
+
+#include <sstream>
+
+namespace hetex::plan {
+
+namespace {
+
+void AppendExpr(std::ostringstream& os, const ExprPtr& e) {
+  os << (e != nullptr ? e->ToString() : "-");
+}
+
+}  // namespace
+
+std::string CanonicalSpecKey(const QuerySpec& spec) {
+  std::ostringstream os;
+  os << "fact=" << spec.fact_table << ";filter=";
+  AppendExpr(os, spec.fact_filter);
+  for (const JoinSpec& j : spec.joins) {
+    os << ";join{" << j.build_table << ";bf=";
+    AppendExpr(os, j.build_filter);
+    os << ";bk=" << j.build_key << ";pk=" << j.probe_key << ";pay=";
+    for (size_t i = 0; i < j.payload.size(); ++i) {
+      os << (i ? "," : "") << j.payload[i];
+    }
+    os << ";est=" << j.build_rows_estimate << "}";
+  }
+  os << ";group=";
+  for (size_t i = 0; i < spec.group_by.size(); ++i) {
+    if (i) os << ",";
+    AppendExpr(os, spec.group_by[i]);
+  }
+  for (const AggSpec& a : spec.aggs) {
+    os << ";agg{" << static_cast<int>(a.func) << ";";
+    AppendExpr(os, a.value);
+    os << "}";
+  }
+  os << ";eg=" << spec.expected_groups
+     << ";gdc=" << spec.group_domain_cardinality
+     << ";srp=" << (spec.uses_string_range_predicate ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace hetex::plan

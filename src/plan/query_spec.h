@@ -66,6 +66,13 @@ inline constexpr int kGroupKeyBits = 21;
 /// (key0 in the highest bits). All SSB group keys fit well within 21 bits.
 ExprPtr CombineGroupKeys(const std::vector<ExprPtr>& keys);
 
+/// Canonical content key of a query spec: a stable serialization of every
+/// field that determines the computed rows (`name`, a display label, is
+/// excluded). Two specs with equal keys compute identical results over
+/// identical table contents — the serving layer's result cache appends the
+/// referenced tables' mutation epochs to this to form its lookup key.
+std::string CanonicalSpecKey(const QuerySpec& spec);
+
 /// \brief How and where to run a query (the heterogeneity-aware part of the plan).
 struct ExecPolicy {
   enum class Mode { kCpuOnly, kGpuOnly, kHybrid };

@@ -88,6 +88,10 @@ class CostModel {
   double router_control_cost = plan::CostParams{}.router_control_cost;
   double segmenter_block_cost = plan::CostParams{}.segmenter_block_cost;
 
+  /// Fixed latency of a serving-layer result-cache hit (hash-map probe plus
+  /// bookkeeping); the row copy itself is charged at cpu_core_bw on top.
+  double result_cache_lookup_latency = 2e-6;
+
   /// Scales every fixed latency by `f`, leaving bandwidths and per-tuple costs
   /// untouched. Benchmarks that scale the paper's datasets down by a factor use
   /// this to keep the fixed-cost-to-work ratio of the original regime, making

@@ -35,6 +35,7 @@ Status Table::Place(const std::vector<sim::MemNodeId>& nodes,
   Unplace();
   placed_mem_ = mem;
   pinned_ = pinned;
+  NoteMutation();  // (re)placement publishes new content to cross-query caches
 
   const uint64_t total = rows();
   const uint64_t n = nodes.size();

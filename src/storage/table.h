@@ -1,6 +1,7 @@
 #ifndef HETEX_STORAGE_TABLE_H_
 #define HETEX_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -96,6 +97,21 @@ class Table {
   /// read them (large synthetic benchmark inputs).
   void DropStaging();
 
+  /// \name Content version
+  /// Monotone counter bumped whenever the table's placed content changes
+  /// (every Place(), plus explicit NoteMutation() calls from ingest paths).
+  /// Cross-query caches — the serving layer's result cache and shared
+  /// hash-table builds — embed this epoch in their content keys, so a
+  /// mutation invalidates every cached artifact derived from the old data.
+  /// @{
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+  void NoteMutation() {
+    mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// @}
+
  private:
   void Unplace();
 
@@ -105,6 +121,8 @@ class Table {
   std::vector<Chunk> chunks_;
   memory::MemoryRegistry* placed_mem_ = nullptr;
   bool pinned_ = true;
+
+  std::atomic<uint64_t> mutation_epoch_{0};
 
   mutable std::mutex stats_mu_;
   mutable std::unordered_map<int, ColumnStats> stats_cache_;

@@ -84,7 +84,11 @@ class SchedulerStressTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SchedulerStressTest, RandomScheduleKeepsInvariants) {
   Rng rng(GetParam());
-  TestEnv env(15'000);
+  // Reuse pinned off: the contention-never-speeds-up invariant below is only
+  // valid when repeat queries actually execute (a result-cache hit or a
+  // shared-build attach is legitimately faster than the solo run).
+  // ReuseMixKeepsParity covers the reuse-enabled side of this schedule.
+  TestEnv env(15'000, 2, 2, core::ReuseOptions{});
   QueryExecutor executor(env.system.get());
 
   // Solo reference rows (and, for pinned policies, solo latencies) are
@@ -193,6 +197,78 @@ TEST_P(SchedulerStressTest, RandomScheduleKeepsInvariants) {
       EXPECT_EQ(env.system->hts().NumTables(r.query_id), 0);
     }
   }
+}
+
+TEST_P(SchedulerStressTest, ReuseMixKeepsParity) {
+  // A randomized repeated-query mix run twice — reuse fully enabled (shared
+  // builds + result cache) vs fully disabled — must produce identical rows
+  // for every query. Latency invariants are not compared: cache hits are
+  // faster by design, that's the feature.
+  Rng rng(GetParam() ^ 0x5EED5EEDull);
+  core::ReuseOptions off;  // pinned off, regardless of environment knobs
+  core::ReuseOptions on;
+  on.shared_builds = true;
+  on.result_cache = true;
+  TestEnv env_off(10'000, 2, 2, off);
+  TestEnv env_on(10'000, 2, 2, on);
+
+  const std::vector<std::pair<int, int>> kPool = {
+      {2, 1}, {2, 2}, {3, 1}, {3, 2}, {4, 1}, {4, 2}};
+  std::map<std::string, std::vector<std::vector<int64_t>>> reference;
+
+  const int rounds = FuzzIters(2);
+  for (int round = 0; round < rounds; ++round) {
+    // Repetition-heavy draw: few distinct queries, many submissions, so the
+    // result cache and the shared-build registry both get exercised.
+    const int n_queries = 6 + static_cast<int>(rng.Uniform(5));  // 6..10
+    std::vector<int> draws;
+    std::vector<double> offsets;
+    for (int q = 0; q < n_queries; ++q) {
+      draws.push_back(static_cast<int>(rng.Uniform(3)));  // 3 distinct specs
+      offsets.push_back(rng.NextDouble() * 0.01);
+    }
+    std::sort(offsets.begin(), offsets.end());
+
+    QueryScheduler::Options sched_opts;
+    sched_opts.max_concurrent = 2 + static_cast<int>(rng.Uniform(3));
+    QueryScheduler sched_off(env_off.system.get(), sched_opts);
+    QueryScheduler sched_on(env_on.system.get(), sched_opts);
+
+    std::vector<QueryHandle> h_off, h_on;
+    std::vector<std::string> names;
+    for (int q = 0; q < n_queries; ++q) {
+      const auto [flight, idx] = kPool[draws[q]];
+      SubmitOptions opts;
+      opts.arrival_offset = offsets[q];
+      h_off.push_back(sched_off.Submit(env_off.ssb->Query(flight, idx), opts));
+      h_on.push_back(sched_on.Submit(env_on.ssb->Query(flight, idx), opts));
+      const plan::QuerySpec spec = env_off.ssb->Query(flight, idx);
+      names.push_back(spec.name);
+      if (reference.find(spec.name) == reference.end()) {
+        reference[spec.name] = env_off.Reference(spec);
+      }
+    }
+    for (int q = 0; q < n_queries; ++q) {
+      QueryResult r_off = sched_off.Wait(h_off[q]);
+      QueryResult r_on = sched_on.Wait(h_on[q]);
+      ASSERT_TRUE(OkOrNamedFault(r_off.status))
+          << names[q] << ": " << r_off.status.ToString();
+      ASSERT_TRUE(OkOrNamedFault(r_on.status))
+          << names[q] << ": " << r_on.status.ToString();
+      if (r_off.status.ok()) {
+        EXPECT_EQ(r_off.rows, reference[names[q]]) << names[q];
+        // Reuse-off results never carry reuse accounting.
+        EXPECT_FALSE(r_off.cache_hit);
+        EXPECT_EQ(r_off.shared_builds, 0);
+        EXPECT_EQ(r_off.shared_attaches, 0);
+      }
+      if (r_on.status.ok()) {
+        EXPECT_EQ(r_on.rows, reference[names[q]])
+            << names[q] << " (reuse-enabled rows diverged)";
+      }
+    }
+  }
+  EXPECT_EQ(env_off.system->hts().NumSharedEntries(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(PinnedSeeds, SchedulerStressTest,
