@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <numeric>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -629,6 +630,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   // build's absolute completion epoch instead.
   struct SharedAcq {
     std::string key;
+    std::string table;   ///< build table (stale-generation GC grouping)
+    uint64_t epoch = 0;  ///< the table's mutation epoch the key embeds
     const StageSpec* stage = nullptr;
     SharedBuildLease lease;
     bool published = false;
@@ -654,11 +657,13 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   } shared_guard{&hts, &acqs};
 
   const bool share_builds = system_->reuse().shared_builds;
-  auto shared_build_key = [&](const StageSpec& stage) {
+  auto shared_build_key = [&](const StageSpec& stage, SharedAcq* acq) {
     const plan::JoinSpec& j = compiler->spec().joins[stage.span.join_id];
     const storage::Table* table = system_->catalog().Get(j.build_table);
+    acq->table = j.build_table;
+    acq->epoch = table != nullptr ? table->mutation_epoch() : 0;
     std::ostringstream os;
-    os << j.build_table << "@" << (table != nullptr ? table->mutation_epoch() : 0)
+    os << j.build_table << "@" << acq->epoch
        << ";bf=" << (j.build_filter != nullptr ? j.build_filter->ToString() : "-")
        << ";bk=" << j.build_key << ";pay=";
     for (size_t i = 0; i < j.payload.size(); ++i) {
@@ -673,24 +678,67 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     std::sort(units.begin(), units.end());
     os << ";units=";
     for (size_t i = 0; i < units.size(); ++i) os << (i ? "," : "") << units[i];
-    return os.str();
+    acq->key = os.str();
   };
 
+  // Pass 1 (plan order): compute every shareable stage's content key; stages
+  // that cannot share — knob off, or invalid join stamps from hand-mutated
+  // plans, which must surface through the execution loop below exactly as
+  // without sharing — map to no acquisition.
+  std::vector<int> stage_acq;  // per build stage: index into acqs, or -1
   for (const StageSpec& stage : spec_.build_stages) {
-    // Invalid join stamps (hand-mutated plans) surface through the execution
-    // loop below, exactly as without sharing.
     if (!share_builds || stage.span.join_id < 0 ||
         stage.span.join_id >= static_cast<int>(compiler->spec().joins.size())) {
-      exec_builds.push_back(&stage);
+      stage_acq.push_back(-1);
       continue;
     }
     SharedAcq acq;
     acq.stage = &stage;
-    acq.key = shared_build_key(stage);
-    acq.lease = hts.AcquireShared(acq.key, session.query_id, session.control);
+    shared_build_key(stage, &acq);
+    stage_acq.push_back(static_cast<int>(acqs.size()));
+    acqs.push_back(std::move(acq));
+  }
+
+  // Pass 2: acquire in canonical (sorted-key) order. AcquireShared blocks
+  // while holding earlier build roles, so two queries whose key sets overlap
+  // must claim them along one global total order — plan-order acquisition let
+  // opposite-join-order queries hold-and-wait on each other forever. Ties
+  // (one query computing the same key twice) keep plan order; the later
+  // acquire self-conflicts into a private build.
+  {
+    std::vector<size_t> order(acqs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return acqs[a].key < acqs[b].key; });
+    for (size_t idx : order) {
+      SharedAcq& acq = acqs[idx];
+      acq.lease = hts.AcquireShared(acq.key, session.query_id, session.control,
+                                    acq.table, acq.epoch);
+      if (acq.lease.role == SharedBuildLease::Role::kCancelled) {
+        // Build roles already won are failed over by shared_guard on return.
+        return session.control != nullptr &&
+                       session.control->deadline_hit.load(
+                           std::memory_order_relaxed)
+                   ? Status::DeadlineExceeded(
+                         "query deadline expired while waiting on a shared "
+                         "hash-table build")
+                   : Status::Cancelled("query cancelled");
+      }
+    }
+  }
+
+  // Pass 3 (plan order): attach won replicas and collect the stages this
+  // query executes itself — in the exact order the non-shared path uses.
+  for (size_t si = 0; si < spec_.build_stages.size(); ++si) {
+    const StageSpec& stage = spec_.build_stages[si];
+    if (stage_acq[si] < 0) {
+      exec_builds.push_back(&stage);
+      continue;
+    }
+    const SharedAcq& acq = acqs[stage_acq[si]];
     switch (acq.lease.role) {
       case SharedBuildLease::Role::kCancelled:
-        return Status::Cancelled("query cancelled");
+        break;  // unreachable: pass 2 returned
       case SharedBuildLease::Role::kAttach:
         hts.AttachShared(acq.key, session.query_id, stage.span.join_id);
         attach_ready = sim::MaxT(attach_ready, acq.lease.ready_at);
@@ -704,7 +752,6 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
         exec_builds.push_back(&stage);
         break;
     }
-    acqs.push_back(std::move(acq));
   }
 
   {

@@ -46,16 +46,39 @@ void HtRegistry::DropQuery(uint64_t query) {
   build_done_.erase(query);
 }
 
+void HtRegistry::EvictStaleLocked(const std::string& table, uint64_t epoch) {
+  if (table.empty()) return;
+  for (auto it = shared_.begin(); it != shared_.end();) {
+    const SharedEntry& entry = it->second;
+    if (entry.table == table && entry.epoch != epoch &&
+        entry.state != SharedEntry::State::kBuilding) {
+      // Queries still probing aliases of these replicas hold them via their
+      // namespaced shared_ptrs in tables_; only the registry's reuse handle
+      // drops here.
+      it = shared_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 SharedBuildLease HtRegistry::AcquireShared(const std::string& content_key,
                                            uint64_t query,
-                                           const QueryControl* control) {
+                                           const QueryControl* control,
+                                           const std::string& table,
+                                           uint64_t mutation_epoch) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = shared_.find(content_key);
     if (it == shared_.end()) {
+      // First claim of a new-generation key: the table's stale generations
+      // (older mutation epochs, unreachable by any future key) retire now.
+      EvictStaleLocked(table, mutation_epoch);
       SharedEntry& entry = shared_[content_key];
       entry.state = SharedEntry::State::kBuilding;
       entry.builder = query;
+      entry.table = table;
+      entry.epoch = mutation_epoch;
       ++shared_stats_.builds;
       return SharedBuildLease{SharedBuildLease::Role::kBuild, 0};
     }
@@ -82,10 +105,13 @@ SharedBuildLease HtRegistry::AcquireShared(const std::string& content_key,
         break;
     }
     if (control != nullptr &&
-        control->cancelled.load(std::memory_order_relaxed)) {
+        (control->cancelled.load(std::memory_order_relaxed) ||
+         control->deadline_hit.load(std::memory_order_relaxed))) {
+      // A dead query must not keep holding its admission slot against another
+      // query's in-flight build: deadline expiry bails out like cancellation.
       return SharedBuildLease{SharedBuildLease::Role::kCancelled, 0};
     }
-    // Bounded wait so a cancelled waiter re-checks its control flag even when
+    // Bounded wait so a cancelled waiter re-checks its control flags even when
     // no publish/fail notification arrives.
     shared_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }

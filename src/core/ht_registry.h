@@ -88,9 +88,22 @@ class HtRegistry {
   /// failover claimant after a failed build), attacher (replicas ready), or
   /// private (the same query already builds this key — a query cannot wait on
   /// itself). Blocks while another query's build is in flight; `control`
-  /// (nullable) lets a cancelled waiter bail out with Role::kCancelled.
+  /// (nullable) lets a cancelled or deadline-expired waiter bail out with
+  /// Role::kCancelled.
+  ///
+  /// Deadlock discipline: a query acquiring several keys MUST acquire them in
+  /// a canonical (sorted-key) order — the global total order makes
+  /// hold-and-wait cycles between queries with overlapping key sets
+  /// impossible. GraphBuilder sorts its acquisition batch accordingly.
+  ///
+  /// `table` + `mutation_epoch` (the source table the content key embeds)
+  /// drive stale-generation GC: claiming a new key retires the table's
+  /// non-building entries from older epochs, whose keys no future query can
+  /// compute. Empty `table` (tests, opaque keys) opts out of the sweep.
   SharedBuildLease AcquireShared(const std::string& content_key, uint64_t query,
-                                 const QueryControl* control);
+                                 const QueryControl* control,
+                                 const std::string& table = "",
+                                 uint64_t mutation_epoch = 0);
 
   /// Builder success: shares the replicas `query` built for `join_id` under
   /// the key (the builder's own namespace keeps its aliases) and wakes the
@@ -130,8 +143,18 @@ class HtRegistry {
     State state = State::kBuilding;
     uint64_t builder = 0;  ///< query currently holding the build role
     sim::VTime ready_at = 0;
+    std::string table;   ///< source table the content key embeds (GC grouping)
+    uint64_t epoch = 0;  ///< table mutation epoch the replicas were built at
     std::map<int, std::shared_ptr<jit::JoinHashTable>> replicas;  // unit -> ht
   };
+
+  /// Erases `table`'s shared entries from mutation epochs other than `epoch`:
+  /// content keys embed the epoch, so no future query can ever acquire them
+  /// again — without the sweep a long-running server with mutation churn
+  /// grows dead replica sets without bound. In-flight (kBuilding) entries are
+  /// skipped; they retire on the next same-table sweep after they resolve.
+  /// Caller holds mu_.
+  void EvictStaleLocked(const std::string& table, uint64_t epoch);
 
   mutable std::mutex mu_;
   std::condition_variable shared_cv_;

@@ -68,16 +68,6 @@ QueryHandle QueryScheduler::Submit(const plan::QuerySpec& spec,
                      : default_budget_;
   QueryHandle handle{task->id};
 
-  // Serving-layer result cache: the key is computed at submit time (it embeds
-  // the mutation epoch of every table read — a snapshot of what the client
-  // asked for), the lookup happens at dequeue time in RunTask, so a query
-  // only ever hits on results inserted by queries that completed earlier on
-  // the virtual timeline. Pinned-policy submissions are cacheable too: every
-  // policy computes identical rows.
-  if (system_->result_cache() != nullptr) {
-    task->cache_key = ResultCacheKey(system_, task->spec);
-  }
-
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (active_ == 0 && waiting_.empty()) {
@@ -137,6 +127,14 @@ void QueryScheduler::RunTask(Task* task, QuerySession session) {
   Status first_fault = Status::OK();
   std::vector<int> exclude_gpus;
   sim::VTime backoff = 0;
+  // Serving-layer result-cache key of the latest attempt, recomputed at each
+  // attempt's dequeue point (empty: cache disabled). It embeds the mutation
+  // epoch of every table read *as of the lookup*, so a hit and a miss always
+  // read the same table version — a key snapshotted at submit time could hit
+  // an entry computed from pre-mutation data while a miss would execute
+  // against post-mutation data. Pinned-policy submissions are cacheable too:
+  // every policy computes identical rows.
+  std::string cache_key;
 
   for (;;) {
     if (task->control.cancelled.load(std::memory_order_relaxed)) {
@@ -164,10 +162,11 @@ void QueryScheduler::RunTask(Task* task, QuerySession session) {
     // throughput win comes from. The generic terminal checks below still
     // apply (a hit can land past the deadline).
     bool served_from_cache = false;
-    if (!task->cache_key.empty()) {
-      if (ResultCache* cache = system_->result_cache()) {
+    if (ResultCache* cache = system_->result_cache()) {
+      cache_key = ResultCacheKey(system_, task->spec);
+      {
         std::vector<std::vector<int64_t>> rows;
-        if (cache->Lookup(task->cache_key, &rows)) {
+        if (cache->Lookup(cache_key, &rows)) {
           result = QueryResult{};
           uint64_t row_bytes = 0;
           for (const auto& row : rows) {
@@ -277,12 +276,15 @@ void QueryScheduler::RunTask(Task* task, QuerySession session) {
   result.degraded = retries > 0 || replanned;
   result.fault = first_fault;
 
-  // Populate the result cache from clean completions. The key embeds the
-  // mutation epochs read at submit time, so a table placed mid-flight simply
-  // publishes under a key no future submission computes.
-  if (result.status.ok() && !task->cache_key.empty()) {
+  // Populate the result cache from clean completions — re-validated: the key
+  // is recomputed now and the rows publish only when no referenced table
+  // mutated since the attempt's dequeue-time lookup, so an entry's rows
+  // provably correspond to its key's epochs. A table placed mid-flight simply
+  // skips the insert.
+  if (result.status.ok() && !cache_key.empty() &&
+      ResultCacheKey(system_, task->spec) == cache_key) {
     if (ResultCache* cache = system_->result_cache()) {
-      cache->Insert(task->cache_key, result.rows);
+      cache->Insert(cache_key, result.rows);
     }
   }
 

@@ -110,7 +110,6 @@ class QueryScheduler {
     uint64_t id = 0;
     plan::QuerySpec spec;
     SubmitOptions opts;
-    std::string cache_key;  ///< result-cache key (empty: cache disabled)
     uint64_t budget = 0;
     sim::VTime queue_wait = 0;  ///< virtual admission delay (set at admission)
     QueryControl control;       ///< cancellation/deadline state (stable address)

@@ -3,6 +3,7 @@
 // (LRU bounds, mutation-epoch invalidation) and the default-off pin — with
 // both knobs off, nothing reuse-related is observable.
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -140,6 +141,46 @@ TEST(ReuseTest, CancelledWaiterBailsOut) {
   registry.FailShared(key);
 }
 
+TEST(ReuseTest, DeadlineExpiredWaiterBailsOut) {
+  // A query whose deadline already fired must not keep holding its admission
+  // slot blocked on another query's in-flight build.
+  HtRegistry registry;
+  const std::string key = "dim@0;deadline-test";
+  ASSERT_EQ(registry.AcquireShared(key, 1, nullptr).role,
+            SharedBuildLease::Role::kBuild);
+  core::QueryControl control;
+  control.deadline = 0.5;
+  control.deadline_hit.store(true);
+  const SharedBuildLease lease = registry.AcquireShared(key, 2, &control);
+  EXPECT_EQ(lease.role, SharedBuildLease::Role::kCancelled);
+  registry.FailShared(key);
+}
+
+TEST(ReuseTest, StaleGenerationEvictedOnNewEpochAcquire) {
+  // Content keys embed the table's mutation epoch, so entries from older
+  // epochs can never be acquired again: claiming a new-generation key must
+  // retire them, or mutation churn grows the registry without bound.
+  test::TestEnv env(4'000);
+  HtRegistry registry;
+  ASSERT_EQ(registry.AcquireShared("dim@0;gc-test", 1, nullptr, "dim", 0).role,
+            SharedBuildLease::Role::kBuild);
+  registry.Create(1, 0, sim::DeviceId::Cpu(0), Cpu0Memory(env), 64, 1);
+  registry.PublishShared("dim@0;gc-test", 1, 0, /*ready_at=*/1.0);
+  EXPECT_EQ(registry.NumSharedEntries(), 1);
+
+  ASSERT_EQ(registry.AcquireShared("dim@1;gc-test", 2, nullptr, "dim", 1).role,
+            SharedBuildLease::Role::kBuild);
+  EXPECT_EQ(registry.NumSharedEntries(), 1) << "stale dim@0 entry must retire";
+
+  // Other tables' generations are untouched by dim's sweep.
+  ASSERT_EQ(
+      registry.AcquireShared("other@0;gc-test", 3, nullptr, "other", 0).role,
+      SharedBuildLease::Role::kBuild);
+  EXPECT_EQ(registry.NumSharedEntries(), 2);
+  registry.FailShared("dim@1;gc-test");
+  registry.FailShared("other@0;gc-test");
+}
+
 // ---------------------------------------------------------------------------
 // ResultCache (unit level)
 // ---------------------------------------------------------------------------
@@ -251,6 +292,73 @@ TEST(ReuseTest, SharedBuildsConcurrentSameJoinQueriesParity) {
   EXPECT_EQ(attaches, (kQueries - 1) * n_joins);
   EXPECT_EQ(env.system->hts().NumSharedEntries(), n_joins);
   for (auto& h : handles) (void)h;  // namespaces dropped on completion
+}
+
+TEST(ReuseTest, OppositeBuildOrderQueriesDoNotDeadlock) {
+  // Two multi-join queries listing the same dimension joins in opposite
+  // orders acquire overlapping content-key sets. The graph builder must claim
+  // them along a canonical (sorted) order: plan-order acquisition lets each
+  // query hold a build role the other is blocked on — a cross-query deadlock
+  // with no escape short of cancellation. Regression = this test hangs.
+  test::TestEnv env(8'000, 2, 2, SharedOnly());
+  const plan::QuerySpec fwd = env.ssb->Query(2, 1);
+  ASSERT_GE(fwd.joins.size(), 2u);
+  plan::QuerySpec rev = fwd;
+  rev.name += "-rev";
+  std::reverse(rev.joins.begin(), rev.joins.end());
+  const auto ref_fwd = env.Reference(fwd);
+  const auto ref_rev = env.Reference(rev);
+
+  for (int it = 0; it < 4; ++it) {
+    core::QueryScheduler scheduler(env.system.get(), {.max_concurrent = 2});
+    core::QueryHandle ha = scheduler.Submit(fwd);
+    core::QueryHandle hb = scheduler.Submit(rev);
+    core::QueryResult ra = scheduler.Wait(ha);
+    core::QueryResult rb = scheduler.Wait(hb);
+    ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+    ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+    EXPECT_EQ(ra.rows, ref_fwd);
+    EXPECT_EQ(rb.rows, ref_rev);
+    // Re-arm the race: bumping every dimension's epoch forces the next
+    // iteration to rebuild (attaching to iteration N's entries is instant and
+    // would never contend).
+    for (const auto& j : fwd.joins) {
+      env.system->catalog().at(j.build_table).NoteMutation();
+    }
+  }
+  // Stale generations retired as each iteration claimed its new-epoch keys:
+  // the registry holds at most the live generation (per distinct unit set),
+  // not one generation per mutation.
+  EXPECT_LE(env.system->hts().NumSharedEntries(),
+            2 * static_cast<int>(fwd.joins.size()));
+}
+
+TEST(ReuseTest, MutationWhileQueuedNeverServesStaleEpoch) {
+  // The cache key is computed at dequeue time (and re-validated at insert),
+  // never snapshotted at submit: after a mutation lands, no query — queued,
+  // in flight, or future — can publish or hit pre-mutation state under the
+  // post-mutation epoch, so the first post-mutation miss re-executes and
+  // every later submission hits its result.
+  test::TestEnv env(8'000, 2, 2, CacheOnly());
+  const plan::QuerySpec spec = env.ssb->Query(1, 1);
+  const auto reference = env.Reference(spec);
+  core::QueryScheduler scheduler(env.system.get(), {.max_concurrent = 1});
+
+  core::QueryHandle ha = scheduler.Submit(spec);
+  core::QueryHandle hb = scheduler.Submit(spec);  // queued behind ha
+  env.system->catalog().at("lineorder").NoteMutation();
+  core::QueryResult ra = scheduler.Wait(ha);
+  core::QueryResult rb = scheduler.Wait(hb);
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+  ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+  EXPECT_FALSE(ra.cache_hit);
+  EXPECT_EQ(ra.rows, reference);
+  EXPECT_EQ(rb.rows, reference);
+
+  core::QueryResult rc = scheduler.Wait(scheduler.Submit(spec));
+  ASSERT_TRUE(rc.status.ok()) << rc.status.ToString();
+  EXPECT_TRUE(rc.cache_hit) << "post-mutation result was not re-cached";
+  EXPECT_EQ(rc.rows, reference);
 }
 
 TEST(ReuseTest, DefaultOffIsInert) {
