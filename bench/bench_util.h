@@ -127,6 +127,42 @@ class SsbBenchEnv {
   bool fact_on_gpu_ = false;
 };
 
+/// BENCH_scaleup.json — the artifact bench_fig7_scaleup prints on stdout (CI
+/// tees it from the Release job's `--check` run). One JSON object:
+///
+///   {
+///     "lineorder_rows": <uint>,      // fact rows per sweep point
+///     "gpu_sweep": [                 // one entry per fabric size (1, 2, 4
+///       {                            // GPUs; fact partitioned across GPUs)
+///         "num_gpus": <int>,
+///         "queries": <int>,          // queries pushed through the scheduler
+///         "makespan_modeled_s": <s>, // virtual-time makespan of the batch
+///         "qps_modeled": <qps>,      // queries / makespan_modeled_s
+///         "p99_latency_s": <s>,      // per-query modeled latency p99
+///         "wall_s": <s>              // host wall clock (diagnostic only)
+///       }, ...
+///     ],
+///     "peer_leg": {                  // all tables in gpu0's memory, query
+///       "query": "Qf.i",             // pinned to gpu1: NVLink mesh vs the
+///       "peer_modeled_s": <s>,       // same fabric without it (host-staged)
+///       "staged_modeled_s": <s>,
+///       "speedup": <x>,              // staged / peer, > 1 when peer wins
+///       "peer_est_s": <s>,           // coster estimates of the same routes
+///       "staged_est_s": <s>,
+///       "coster_ordering_ok": <bool> // estimated ordering == measured
+///     },
+///     "baseline": {                  // 1-GPU single-socket no-fabric system
+///       "queries": <int>,            // all 13 SSB queries, optimizer-picked
+///       "parity_ok": <bool>,         // picked-plan rows == reference rows
+///       "coster_max_ratio": <x>      // picked / measured-best, gated <= 1.2
+///     }
+///   }
+///
+/// `--check` gates (exit nonzero + "CHECK FAILED:" on stderr): qps_modeled
+/// strictly rises 1 -> 2 -> 4 GPUs, the peer leg beats host staging with the
+/// coster agreeing on the ordering, and the baseline stays at parity with
+/// coster_max_ratio <= 1.2 — the PR 8 solo regime is bit-identical.
+
 /// Registers a 1-iteration manual-time benchmark whose reported time is the
 /// *modeled* latency on the simulated paper server.
 template <typename Fn>

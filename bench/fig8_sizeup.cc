@@ -7,6 +7,12 @@
 // (block-granularity operators amortize); below that, the fixed router
 // initialization/pinning cost (~10 ms at paper scale) shows up, worst for the
 // GPU sum at the smallest input (~50%).
+//
+// Fabric leg: the same sized-up GPU sum with its input resident in the *other*
+// GPU's memory, on a 2-GPU scale-out fabric with and without the NVLink peer
+// mesh. With the mesh every block crosses in one peer hop; without it the same
+// move stages through host memory over two PCIe hops — the peer/staged ratio
+// stays below 1 and settles as the per-block fixed costs amortize with size.
 
 #include <benchmark/benchmark.h>
 
@@ -69,6 +75,33 @@ void RegisterAll(System* system, uint64_t size_mb) {
   }
 }
 
+/// 2-GPU scale-out fabric for the peer-data series; `with_peer_mesh` = false
+/// drops the NVLink mesh so the identical GPU0<->GPU1 move host-stages.
+std::unique_ptr<System> MakePeerSystem(bool with_peer_mesh) {
+  System::Options options;
+  options.topology = hetex::sim::Topology::ScaleOutOptions(2);
+  if (!with_peer_mesh) options.topology.peer_links.clear();
+  options.topology.inter_socket_bw = 0;  // isolate the GPU<->GPU route
+  options.topology.cost_model.ScaleFixedLatencies(kLatencyScale);
+  options.blocks.host_arena_blocks = 768;
+  options.blocks.gpu_arena_blocks = 512;
+  return std::make_unique<System>(options);
+}
+
+void RegisterPeerSeries(System* system, const char* route, uint64_t size_mb) {
+  const auto spec = MicroSumQuery();
+  const std::string key = std::string("micro-sum/gpu-peer/") + route + "/" +
+                          std::to_string(size_mb) + "MB";
+  hetex::bench::RegisterModeled("fig8/" + key, [system, spec, key] {
+    ExecPolicy policy = ExecPolicy::GpuOnly({0});
+    policy.block_rows = 128 * 1024;
+    hetex::core::QueryExecutor executor(system);
+    auto r = executor.Execute(spec, policy);
+    modeled_s[key] = r.modeled_seconds;
+    return r;
+  });
+}
+
 void PrintSummary(const std::vector<uint64_t>& sizes) {
   for (const auto& spec : {MicroSumQuery(), MicroJoinQuery()}) {
     std::printf("\n=== Figure 8 (%s): HetExchange overhead at DOP=1 "
@@ -88,6 +121,18 @@ void PrintSummary(const std::vector<uint64_t>& sizes) {
   }
   std::printf("\npaper: <=1.10x for >=512MB-equivalent inputs; up to ~1.5x for "
               "the smallest GPU sum\n");
+
+  std::printf("\n=== peer-data size-up: GPU sum on gpu0, input in gpu1's memory "
+              "(peer/staged modeled-time ratio) ===\n");
+  for (uint64_t mb : sizes) {
+    const std::string base =
+        "micro-sum/gpu-peer/";
+    const double p = modeled_s[base + "peer/" + std::to_string(mb) + "MB"];
+    const double s = modeled_s[base + "staged/" + std::to_string(mb) + "MB"];
+    std::printf("  %4lluMB %.2fx", static_cast<unsigned long long>(mb),
+                s > 0 ? p / s : 0.0);
+  }
+  std::printf("\nNVLink hop vs two staged PCIe hops: the ratio stays < 1\n");
 }
 
 }  // namespace
@@ -106,6 +151,21 @@ int main(int argc, char** argv) {
     hetex::bench::MakeMicroTables(systems.back().get(), mb * 1024 * 1024 / 4,
                                   kBuildRows);
     RegisterAll(systems.back().get(), mb);
+
+    // Peer-data series: identical input, resident in gpu1's memory, summed on
+    // gpu0 — once over the NVLink mesh, once host-staged without it.
+    for (const auto& [route, meshed] :
+         {std::pair{"peer", true}, std::pair{"staged", false}}) {
+      systems.push_back(MakePeerSystem(meshed));
+      System* sys = systems.back().get();
+      hetex::bench::MakeMicroTables(sys, mb * 1024 * 1024 / 4, kBuildRows,
+                                    /*keep_staging=*/true);
+      for (const char* t : {"micro", "micro_build"}) {
+        HETEX_CHECK_OK(sys->catalog().at(t).Place({sys->GpuNodes()[1]},
+                                                  &sys->memory()));
+      }
+      RegisterPeerSeries(sys, route, mb);
+    }
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

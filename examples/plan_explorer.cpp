@@ -17,13 +17,23 @@
 // enumerated plan's *estimated* virtual-time cost next to its *measured*
 // virtual time (every candidate is executed), with the picked plan marked.
 //
+// Both modes open with the full fabric: every socket and GPU, per-link
+// type/bandwidth (PCIe, NVLink-class peer, inter-socket), peer adjacency, and
+// the live per-link backlog a query anchored at the current horizon would see.
+//
 // Flags:
-//   --json             machine-readable candidate ranking on stdout (exits
-//                      non-zero when a query yields no candidates/picked plan)
+//   --json             machine-readable report on stdout: {"fabric": {...},
+//                      "queries": [...]} (exits non-zero when a query yields
+//                      no candidates/picked plan)
 //   --queries 1.1,3.1  comma-separated SSB queries for the optimizer section
 //                      (default: 3.1 in human mode, 1.1,3.1,4.2 in JSON mode)
+//   --gpus N           build the system as an N-GPU scale-out fabric
+//                      (Topology::ScaleOutOptions: fully-connected NVLink peer
+//                      mesh + inter-socket link; N=0 exercises the CPU-only
+//                      degradation) instead of the default paper server
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -37,6 +47,8 @@
 #include "jit/kernel_cache.h"
 #include "plan/het_plan.h"
 #include "plan/optimizer.h"
+#include "sim/topology.h"
+#include "sim/vtime.h"
 #include "ssb/ssb.h"
 
 using namespace hetex;  // NOLINT — example brevity
@@ -75,6 +87,57 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// Machine-readable fabric report: the same facts Topology::Describe prints —
+/// sockets (DRAM rate + live worker backlog), GPUs, and every interconnect
+/// link with its type, bandwidth and the backlog a session anchored at
+/// `epoch` would queue behind.
+void PrintFabricJson(const sim::Topology& topo, sim::VTime epoch) {
+  std::printf("\"fabric\": {\"epoch\": %.9f,\n\"sockets\": [", epoch);
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    const auto& sock = topo.socket(s);
+    std::printf("%s\n  {\"id\": %d, \"cores\": %d, \"mem_node\": %d, "
+                "\"dram_gbps\": %.3f, \"active_workers\": %d}",
+                s == 0 ? "" : ",", sock.id, sock.num_cores, sock.mem,
+                topo.socket_dram(s).total_rate() / 1e9,
+                topo.socket_dram(s).active_workers());
+  }
+  std::printf("\n],\n\"gpus\": [");
+  for (int g = 0; g < topo.num_gpus(); ++g) {
+    const auto& gpu = topo.gpu(g);
+    std::printf("%s\n  {\"id\": %d, \"mem_node\": %d, \"socket\": %d, "
+                "\"pcie_link\": %d}",
+                g == 0 ? "" : ",", gpu.id, gpu.mem, gpu.socket, gpu.pcie_link);
+  }
+  std::printf("\n],\n\"links\": [");
+  bool first = true;
+  auto backlog = [&](const sim::BandwidthServer& link) {
+    return sim::MaxT(0.0, link.free_at() - epoch);
+  };
+  for (int g = 0; g < topo.num_gpus(); ++g) {
+    const auto& link = topo.pcie_link(topo.PcieLinkOf(g));
+    std::printf("%s\n  {\"type\": \"pcie\", \"id\": %d, \"gpu\": %d, "
+                "\"socket\": %d, \"gbps\": %.3f, \"backlog_s\": %.9f}",
+                first ? "" : ",", topo.PcieLinkOf(g), g, topo.gpu(g).socket,
+                link.rate() / 1e9, backlog(link));
+    first = false;
+  }
+  for (int p = 0; p < topo.num_peer_links(); ++p) {
+    const auto& info = topo.peer_link_info(p);
+    std::printf("%s\n  {\"type\": \"peer\", \"id\": %d, \"gpu_a\": %d, "
+                "\"gpu_b\": %d, \"gbps\": %.3f, \"backlog_s\": %.9f}",
+                first ? "" : ",", info.id, info.gpu_a, info.gpu_b,
+                topo.peer_link(p).rate() / 1e9, backlog(topo.peer_link(p)));
+    first = false;
+  }
+  if (topo.has_inter_socket_link()) {
+    std::printf("%s\n  {\"type\": \"inter_socket\", \"gbps\": %.3f, "
+                "\"backlog_s\": %.9f}",
+                first ? "" : ",", topo.inter_socket_link().rate() / 1e9,
+                backlog(topo.inter_socket_link()));
+  }
+  std::printf("\n]},\n");
 }
 
 /// One span's live tier decision, for the human table and the JSON report.
@@ -300,16 +363,23 @@ bool ReportOptimizer(core::System& system, core::System& reuse_sys,
 int main(int argc, char** argv) {
   bool json = false;
   std::string queries_arg;
+  int num_gpus = -1;  // -1 = default paper server, >= 0 = scale-out fabric
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       queries_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--gpus") == 0 && i + 1 < argc) {
+      num_gpus = std::atoi(argv[++i]);
     }
   }
   if (queries_arg.empty()) queries_arg = json ? "1.1,3.1,4.2" : "3.1";
 
-  core::System system(core::System::Options{});
+  core::System::Options sys_opts;
+  if (num_gpus >= 0) {
+    sys_opts.topology = sim::Topology::ScaleOutOptions(num_gpus);
+  }
+  core::System system(sys_opts);
   ssb::Ssb::Options opts;
   opts.lineorder_rows = 30'000;  // small but large enough to execute candidates
   ssb::Ssb ssb(opts, &system.catalog());
@@ -361,15 +431,20 @@ int main(int argc, char** argv) {
 
   if (json) {
     bool ok = true;
-    std::printf("[");
+    std::printf("{");
+    PrintFabricJson(system.topology(), system.VirtualHorizon());
+    std::printf("\"queries\": [");
     for (size_t i = 0; i < opt_queries.size(); ++i) {
       ok = ReportOptimizer(system, reuse_sys, opt_queries[i], /*json=*/true,
                            i == 0) &&
            ok;
     }
-    std::printf("]\n");
+    std::printf("]}\n");
     return ok ? 0 : 1;
   }
+
+  std::printf("=== fabric (live backlog at the next query's epoch) ===\n%s\n",
+              system.topology().Describe(system.VirtualHorizon()).c_str());
 
   const plan::QuerySpec spec = ssb.Query(3, 1);
 
@@ -388,6 +463,13 @@ int main(int argc, char** argv) {
            Config{"Bare Proteus (no HetExchange), 1 GPU, UVA",
                   plan::ExecPolicy::Bare(sim::DeviceType::kGpu)},
        }) {
+    // GPU-placed policies on a GPU-less fabric (--gpus 0) are the named
+    // InvalidArgument the executor would surface, not a layout abort.
+    const Status placed = plan::ValidatePolicyForTopology(policy, system.topology());
+    if (!placed.ok()) {
+      std::printf("=== %s ===\npolicy: %s\n\n", label, placed.ToString().c_str());
+      continue;
+    }
     const plan::HetPlan plan = plan::BuildHetPlan(spec, policy, system.topology());
     std::printf("=== %s ===\n%s", label, plan.ToString().c_str());
     const Status st = plan::ValidateHetPlan(plan);

@@ -19,6 +19,15 @@ QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec) {
 
 QueryResult QueryExecutor::Execute(const plan::QuerySpec& spec,
                                    const plan::ExecPolicy& policy) {
+  // A GPU-placed policy on a no-GPU topology is a named user error, not a
+  // lowering abort: surface it on the result before BuildHetPlan would trip
+  // its layout invariants.
+  if (Status st = plan::ValidatePolicyForTopology(policy, system_->topology());
+      !st.ok()) {
+    QueryResult out;
+    out.status = std::move(st);
+    return out;
+  }
   return ExecutePlan(spec,
                      plan::BuildHetPlan(spec, policy, system_->topology()));
 }
@@ -44,14 +53,24 @@ Status QueryExecutor::OptimizeAt(const plan::QuerySpec& spec,
     opts.available_gpus = system_->AvailableGpusAt(
         epoch, exclude_gpus != nullptr ? *exclude_gpus : std::vector<int>{});
   }
-  // Load signal: work already queued on each PCIe link past this session's
-  // arrival. In-flight queries' transfers serialize ahead of ours, so the
-  // coster charges them as a start offset on the link occupancy bound —
-  // for DMA mem-moves and UVA kernel streams alike.
+  // Load signal: work already queued on each interconnect link — PCIe, GPU
+  // peer and inter-socket — past this session's arrival. In-flight queries'
+  // transfers serialize ahead of ours, so the coster charges them as a start
+  // offset on the link occupancy bound — for DMA mem-moves and UVA kernel
+  // streams alike. A no-GPU topology simply has no PCIe/peer entries.
   const sim::Topology& topo = system_->topology();
   opts.link_backlog.resize(topo.num_pcie_links());
   for (int l = 0; l < topo.num_pcie_links(); ++l) {
     opts.link_backlog[l] = std::max(0.0, topo.pcie_link(l).free_at() - epoch);
+  }
+  opts.peer_link_backlog.resize(topo.num_peer_links());
+  for (int l = 0; l < topo.num_peer_links(); ++l) {
+    opts.peer_link_backlog[l] =
+        std::max(0.0, topo.peer_link(l).free_at() - epoch);
+  }
+  if (topo.has_inter_socket_link()) {
+    opts.inter_socket_backlog =
+        std::max(0.0, topo.inter_socket_link().free_at() - epoch);
   }
   // CPU load signal: workers other in-flight sessions currently run on each
   // socket. The runtime divides every socket's DRAM aggregate across all

@@ -602,14 +602,22 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
       indices.push_back(idx);
     }
     uint64_t block_rows = seg.block_rows > 0 ? seg.block_rows : 128 * 1024;
-    // GPU-fed stages bound the granularity: a scan block must fit one staging
-    // arena block when the mem-move copies it to device memory, and one GPU
-    // emit bucket (block_bytes / 8-byte slots) when the stage packs output.
-    // Plans stamped coarser are clamped here — never crashed at transfer time.
+    // GPU-touching stages bound the granularity: a scan block must fit one
+    // staging arena block when the mem-move copies it to device memory, and one
+    // GPU emit bucket (block_bytes / 8-byte slots) when the stage packs output.
+    // GPU-*resident* chunks bound it the same way whatever the instances are —
+    // a scan block of device memory crosses to any non-local consumer through
+    // a staging block too (peer or host-staged). Plans stamped coarser are
+    // clamped here — never crashed at transfer time.
     const bool has_gpu_instance =
         std::any_of(stage.instances.begin(), stage.instances.end(),
                     [](sim::DeviceId dev) { return dev.is_gpu(); });
-    if (has_gpu_instance) {
+    const bool has_gpu_chunk = std::any_of(
+        table->chunks().begin(), table->chunks().end(),
+        [&](const storage::Table::Chunk& c) {
+          return system_->topology().mem_node(c.node).is_gpu;
+        });
+    if (has_gpu_instance || has_gpu_chunk) {
       block_rows = std::min(block_rows, std::max<uint64_t>(1, block_bytes / 8));
     }
     *out = std::make_unique<SourceDriver>(system_, table, std::move(indices),

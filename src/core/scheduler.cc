@@ -187,6 +187,15 @@ void QueryScheduler::RunTask(Task* task, QuerySession session) {
     if (served_from_cache) {
       // no execution
     } else if (task->opts.policy.has_value()) {
+      // A pinned policy naming devices the fabric does not have is a named
+      // terminal error, not a lowering abort (the no-GPU topology path).
+      if (Status st = plan::ValidatePolicyForTopology(*task->opts.policy,
+                                                      system_->topology());
+          !st.ok()) {
+        result = QueryResult{};
+        result.status = std::move(st);
+        break;
+      }
       result = executor.ExecutePlan(
           task->spec,
           plan::BuildHetPlan(task->spec, *task->opts.policy,

@@ -29,6 +29,12 @@ struct CostParams {
   double task_spawn_latency = 2e-6;
   /// Fixed per-transfer DMA setup cost on a PCIe link.
   double dma_latency = 1e-5;
+  /// Fixed per-transfer setup cost on an NVLink-class GPU peer link. Peer DMA
+  /// skips the host round-trip, so setup is cheaper than a PCIe transfer.
+  double peer_dma_latency = 5e-6;
+  /// Fixed per-hop cost of a cross-socket (UPI/QPI-class) cache-line transfer
+  /// batch; charged once per delivered block that crosses sockets.
+  double inter_socket_latency = 5e-7;
   /// Fixed cost of launching one GPU kernel.
   double kernel_launch_latency = 8e-6;
 };

@@ -454,6 +454,24 @@ PlanCoster::PlanCoster(const QuerySpec& spec, const storage::Catalog& catalog,
       options_(options),
       cards_(EstimateCardinalities(spec, catalog)) {}
 
+sim::VTime PlanCoster::EstimateGpuToGpuTransfer(const sim::Topology& topo,
+                                                int src_gpu, int dst_gpu,
+                                                uint64_t bytes, uint64_t cols) {
+  if (src_gpu == dst_gpu) return 0;
+  const sim::CostModel& cm = topo.cost_model();
+  const double c = static_cast<double>(std::max<uint64_t>(1, cols));
+  const int peer = topo.PeerLinkOf(src_gpu, dst_gpu);
+  if (peer >= 0) {
+    return c * cm.peer_dma_latency +
+           static_cast<double>(bytes) / topo.peer_link(peer).rate();
+  }
+  // No peer link: stage through host memory — two PCIe hops, each paying the
+  // per-column DMA setup (the staging buffer is pinned, so both hops run at
+  // the pinned rate), exactly the runtime's fallback path.
+  return 2.0 * c * cm.dma_latency +
+         2.0 * static_cast<double>(bytes) / cm.pcie_bw;
+}
+
 Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
   const sim::CostModel& cm = topo_->cost_model();
   PlanShape shape;
@@ -603,9 +621,34 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
                ? std::max(0, options_.socket_backlog_workers[s])
                : 0;
   };
+
+  // Extended link-index space shared with the runtime's interconnects: PCIe
+  // links first, then GPU peer links, then the inter-socket link. Every entry
+  // is one serially-shared resource in the busy/backlog accounting below.
+  const int n_pcie = topo_->num_pcie_links();
+  const int n_peer = topo_->num_peer_links();
+  const int inter_socket_index = n_pcie + n_peer;
+
+  // Fraction of a source table's rows resident on each memory node — drives
+  // the fabric routing estimates (cross-socket DRAM pulls and GPU-resident
+  // sources reached over peer links or staged PCIe hops).
+  auto node_fractions = [&](const storage::Table* t) {
+    std::map<sim::MemNodeId, double> frac;
+    if (t == nullptr || !t->placed()) return frac;
+    uint64_t total = 0;
+    for (const auto& chunk : t->chunks()) total += chunk.rows;
+    if (total == 0) return frac;
+    for (const auto& chunk : t->chunks()) {
+      frac[chunk.node] +=
+          static_cast<double>(chunk.rows) / static_cast<double>(total);
+    }
+    return frac;
+  };
+
   auto stage_instances = [&](const StageEst& stage, const Profile& profile,
                              uint64_t block_rows, double in_width,
-                             uint64_t cols) {
+                             uint64_t cols,
+                             const storage::Table* src_table) {
     std::vector<InstanceCost> out;
     // CPU workers share their socket's DRAM bandwidth — with this candidate's
     // own workers and with every other in-flight session's (the runtime's
@@ -619,6 +662,27 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     cols = std::max<uint64_t>(1, cols);
     const sim::CostStats block_stats =
         profile.Scale(static_cast<double>(block_rows));
+    const std::map<sim::MemNodeId, double> src_frac = node_fractions(src_table);
+    const double block_bytes = static_cast<double>(block_rows) * in_width;
+    // Load-balance routers pin GPU-resident blocks to their local GPU when
+    // that GPU is among the consumers — those fractions never travel, and no
+    // other instance ever receives them. Credit the route accordingly.
+    const RouterPolicy pol = stage.router >= 0
+                                 ? plan.node(stage.router).policy
+                                 : RouterPolicy::kRoundRobin;
+    std::vector<char> gpu_inst(static_cast<size_t>(topo_->num_gpus()), 0);
+    for (const auto& b : stage.branches) {
+      for (const auto& dev : b.instances) {
+        if (dev.is_gpu() && dev.index < topo_->num_gpus()) {
+          gpu_inst[static_cast<size_t>(dev.index)] = 1;
+        }
+      }
+    }
+    auto lb_pinned = [&](int src_gpu) {
+      return pol == RouterPolicy::kLoadBalance && src_gpu >= 0 &&
+             src_gpu < topo_->num_gpus() &&
+             gpu_inst[static_cast<size_t>(src_gpu)] != 0;
+    };
     for (const auto& b : stage.branches) {
       for (const auto& dev : b.instances) {
         InstanceCost ic;
@@ -628,6 +692,40 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
           const double bw =
               std::min(cm.cpu_core_bw, cm.cpu_socket_bw / divisor);
           ic.block_time = cm.WorkCost(block_stats, cm.cpu, bw);
+          if (!src_frac.empty()) {
+            // Route every source fraction the way the runtime would: another
+            // socket's DRAM crosses the UPI/QPI link (when the fabric has
+            // one), a GPU-resident fraction is a device->host DMA chain over
+            // that GPU's PCIe link — unless a load-balance router pins it to
+            // its local GPU and this worker never sees it.
+            double transfer = 0;
+            std::map<int, double> by_link;
+            for (const auto& [node, f] : src_frac) {
+              const sim::Topology::MemNode& mn = topo_->mem_node(node);
+              if (mn.is_gpu) {
+                if (lb_pinned(mn.owner.index)) continue;
+                const double t =
+                    f * (static_cast<double>(cols) * cm.dma_latency +
+                         block_bytes / cm.pcie_bw);
+                transfer += t;
+                by_link[topo_->PcieLinkOf(mn.owner.index)] += t;
+              } else if (topo_->has_inter_socket_link() &&
+                         mn.owner.index != dev.index) {
+                const double t =
+                    f * (cm.inter_socket_latency +
+                         block_bytes / topo_->inter_socket_link().rate());
+                transfer += t;
+                by_link[inter_socket_index] += t;
+              }
+            }
+            if (transfer > 0) {
+              ic.transfer_time = transfer;
+              for (const auto& [link, t] : by_link) {
+                if (ic.link < 0 || t > by_link[ic.link]) ic.link = link;
+              }
+              ic.block_time = sim::MaxT(ic.block_time, ic.transfer_time);
+            }
+          }
         } else if (b.uva) {
           // UVA kernel: its streamed bytes occupy the PCIe link exactly like
           // DMA (the runtime reserves them on the link BandwidthServer), so
@@ -647,12 +745,46 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
               cm.WorkCost(block_stats, cm.gpu, cm.gpu_mem_bw);
           sim::VTime transfer = 0;
           if (b.gpu_entry) {
-            // Mem-move stages the block over the GPU's PCIe link: one DMA
-            // reservation per column plus the bytes at the pinned rate.
-            transfer = static_cast<double>(cols) * cm.dma_latency +
-                       static_cast<double>(block_rows) * in_width / cm.pcie_bw;
-            if (dev.index < topo_->num_gpus()) {
-              ic.link = topo_->PcieLinkOf(dev.index);
+            // Mem-move stages the block into the GPU: one DMA reservation per
+            // column plus the bytes at the pinned rate for a host source.
+            const sim::VTime host_hop =
+                static_cast<double>(cols) * cm.dma_latency +
+                block_bytes / cm.pcie_bw;
+            const int g = dev.index;
+            if (src_frac.empty() || g >= topo_->num_gpus()) {
+              transfer = host_hop;
+              if (g < topo_->num_gpus()) ic.link = topo_->PcieLinkOf(g);
+            } else {
+              // Route each source fraction the way Edge::MoveToNode would:
+              // local GPU memory is free, host DRAM is the PCIe DMA chain, a
+              // peer GPU is one NVLink hop (or two staged PCIe hops when the
+              // fabric has no peer link) — unless a load-balance router pins
+              // that fraction to its own local GPU and this instance never
+              // receives it. The instance's link is whichever carries the
+              // most traffic.
+              std::map<int, double> by_link;
+              for (const auto& [node, f] : src_frac) {
+                const sim::Topology::MemNode& mn = topo_->mem_node(node);
+                sim::VTime t = 0;
+                int link = -1;
+                if (!mn.is_gpu) {
+                  t = host_hop;
+                  link = topo_->PcieLinkOf(g);
+                } else if (mn.owner.index != g) {
+                  const int src_g = mn.owner.index;
+                  if (lb_pinned(src_g)) continue;
+                  t = EstimateGpuToGpuTransfer(
+                      *topo_, src_g, g, static_cast<uint64_t>(block_bytes),
+                      cols);
+                  const int peer = topo_->PeerLinkOf(src_g, g);
+                  link = peer >= 0 ? n_pcie + peer : topo_->PcieLinkOf(g);
+                }
+                transfer += f * t;
+                if (link >= 0) by_link[link] += f * t;
+              }
+              for (const auto& [link, t] : by_link) {
+                if (ic.link < 0 || t > by_link[ic.link]) ic.link = link;
+              }
             }
           }
           ic.transfer_time = transfer;
@@ -672,19 +804,28 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     return stage.router >= 0 ? plan.node(stage.router).control_cost : 0.0;
   };
 
-  // --- Shared-link accounting. Every PCIe link is a serially-shared resource:
-  // DMA demand from concurrently-running stages (stage-A input DMA and
-  // stage-B wire DMA of a split plan land on the same link) serializes, so a
-  // phase can never finish before its links drained their total occupancy —
-  // plus whatever backlog other in-flight queries queued there (the
-  // scheduler's load signal).
-  const int n_links = topo_->num_pcie_links();
+  // --- Shared-link accounting. Every interconnect link — PCIe, GPU peer and
+  // inter-socket — is a serially-shared resource: DMA demand from
+  // concurrently-running stages (stage-A input DMA and stage-B wire DMA of a
+  // split plan land on the same link) serializes, so a phase can never finish
+  // before its links drained their total occupancy — plus whatever backlog
+  // other in-flight queries queued there (the scheduler's load signal).
+  const int n_links = n_pcie + n_peer + 1;  // + the inter-socket slot
   std::vector<double> build_link_busy(n_links, 0.0);
   std::vector<double> fact_link_busy(n_links, 0.0);
   auto link_backlog = [&](int l) {
-    return l < static_cast<int>(options_.link_backlog.size())
-               ? options_.link_backlog[l]
-               : 0.0;
+    if (l < n_pcie) {
+      return l < static_cast<int>(options_.link_backlog.size())
+                 ? options_.link_backlog[l]
+                 : 0.0;
+    }
+    if (l < inter_socket_index) {
+      const int p = l - n_pcie;
+      return p < static_cast<int>(options_.peer_link_backlog.size())
+                 ? options_.peer_link_backlog[p]
+                 : 0.0;
+    }
+    return options_.inter_socket_backlog;
   };
   auto add_link_busy = [](std::vector<double>* busy,
                           const std::vector<InstanceCost>& insts) {
@@ -695,16 +836,24 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     }
   };
 
-  // Mirrors the lowering's staging clamp: GPU-fed sources never exceed one
-  // staging/emit block, whatever granularity the plan stamped.
-  auto clamp_block_rows = [&](const StageEst& stage, uint64_t block_rows) {
+  // Mirrors the lowering's staging clamp: GPU-fed sources — and sources over
+  // GPU-*resident* chunks, whose scan blocks cross to any non-local consumer
+  // through a staging block — never exceed one staging/emit block, whatever
+  // granularity the plan stamped.
+  auto clamp_block_rows = [&](const StageEst& stage, uint64_t block_rows,
+                              const storage::Table* src) {
+    bool gpu_bound = false;
     for (const auto& b : stage.branches) {
-      for (const auto& dev : b.instances) {
-        if (dev.is_gpu()) {
-          return std::min(block_rows,
-                          std::max<uint64_t>(1, options_.pack_block_rows));
-        }
+      for (const auto& dev : b.instances) gpu_bound |= dev.is_gpu();
+    }
+    if (src != nullptr && !gpu_bound) {
+      for (const auto& c : src->chunks()) {
+        gpu_bound |= topo_->mem_node(c.node).is_gpu;
       }
+    }
+    if (gpu_bound) {
+      return std::min(block_rows,
+                      std::max<uint64_t>(1, options_.pack_block_rows));
     }
     return block_rows;
   };
@@ -719,8 +868,9 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     const uint64_t rows =
         j < cards_.build_input_rows.size() ? cards_.build_input_rows[j] : 1;
     const HetOpNode& seg = plan.node(stage.segmenter);
+    const storage::Table* src_table = catalog_->Get(seg.table);
     const uint64_t block_rows = clamp_block_rows(
-        stage, seg.block_rows > 0 ? seg.block_rows : 128 * 1024);
+        stage, seg.block_rows > 0 ? seg.block_rows : 128 * 1024, src_table);
     const uint64_t blocks = std::max<uint64_t>(1, CeilDiv(rows, block_rows));
 
     uint64_t n_cols = 1;
@@ -728,7 +878,7 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
     const double in_width = profile.bytes_read;
     std::vector<InstanceCost> insts = stage_instances(
         stage, profile, std::min(block_rows, std::max<uint64_t>(1, rows)),
-        in_width, n_cols);
+        in_width, n_cols, src_table);
     // Broadcast: every unit consumes the full build stream.
     sim::VTime done = DistributeBlocks(RouterPolicy::kBroadcast, blocks, &insts);
     const sim::VTime source = static_cast<double>(blocks) *
@@ -787,12 +937,16 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
       return Status::Internal("coster: build span on the fact chain");
     }
 
+    const storage::Table* src_table =
+        stage.segmenter >= 0 ? catalog_->Get(plan.node(stage.segmenter).table)
+                             : nullptr;
     const uint64_t block_rows = clamp_block_rows(
         stage, stage.segmenter >= 0
                    ? (plan.node(stage.segmenter).block_rows > 0
                           ? plan.node(stage.segmenter).block_rows
                           : 128 * 1024)
-                   : options_.pack_block_rows);
+                   : options_.pack_block_rows,
+        src_table);
     uint64_t blocks = CeilDiv(static_cast<uint64_t>(std::llround(rows_in)),
                               block_rows);
     if (stage.segmenter < 0) {
@@ -816,8 +970,8 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
         1, std::min<uint64_t>(block_rows,
                               static_cast<uint64_t>(std::llround(
                                   std::max(1.0, rows_in / blocks)))));
-    std::vector<InstanceCost> insts =
-        stage_instances(stage, profile, rows_per_block, in_width, n_cols);
+    std::vector<InstanceCost> insts = stage_instances(
+        stage, profile, rows_per_block, in_width, n_cols, src_table);
     sim::VTime done = DistributeBlocks(stage_policy(stage), blocks, &insts);
 
     const double per_block_src =

@@ -75,6 +75,16 @@ struct CosterOptions {
   /// solo-optimization default).
   std::vector<double> link_backlog;
 
+  /// Per-GPU-peer-link backlog (index = Topology::peer_link id): virtual
+  /// seconds of work other in-flight queries already queued on each
+  /// NVLink-class link at this session's arrival. Same semantics as
+  /// link_backlog; empty = idle fabric.
+  std::vector<double> peer_link_backlog;
+
+  /// Inter-socket (UPI/QPI) link backlog in virtual seconds at this session's
+  /// arrival. 0 = idle (or no inter-socket link modeled).
+  double inter_socket_backlog = 0;
+
   /// Per-socket CPU contention: concurrently-active CPU workers other
   /// in-flight sessions run on each socket (index = socket id). The runtime
   /// divides a socket's DRAM aggregate across *all* sessions' workers, so the
@@ -100,6 +110,16 @@ class PlanCoster {
   /// Estimates the virtual-time cost of `plan`. Fails (instead of guessing) on
   /// DAG shapes whose stage structure the walk cannot decompose.
   Result<CostEstimate> Cost(const HetPlan& plan) const;
+
+  /// Uncontended virtual-time estimate of moving one `bytes`-sized block (in
+  /// `cols` column transfers) from `src_gpu`'s memory into `dst_gpu`'s,
+  /// mirroring Edge::MoveToNode's routing exactly: a single hop on the peer
+  /// link when the fabric has one, two staged PCIe hops through host memory
+  /// when it does not. The constants are the same ones DmaEngine charges, so
+  /// estimated and measured route ordering agree.
+  static sim::VTime EstimateGpuToGpuTransfer(const sim::Topology& topo,
+                                             int src_gpu, int dst_gpu,
+                                             uint64_t bytes, uint64_t cols = 1);
 
   const CardinalityEstimate& cards() const { return cards_; }
 

@@ -18,10 +18,17 @@ const char* ModeTag(ExecPolicy::Mode mode) {
 
 std::string Label(const ExecPolicy& p) {
   std::ostringstream os;
-  os << ModeTag(p.mode) << "/" << (p.split_probe_stage ? "split" : "fused")
-     << "/" << (p.load_balance ? "lb" : "rr") << "/b" << p.block_rows;
+  os << ModeTag(p.mode) << "/" << (p.split_probe_stage ? "split" : "fused");
+  if (p.split_probe_stage && p.stage_a_cpu_only) os << "-asym";
+  os << "/" << (p.load_balance ? "lb" : "rr") << "/b" << p.block_rows;
   if (p.mode != ExecPolicy::Mode::kGpuOnly && p.cpu_workers > 0) {
     os << "/w" << p.cpu_workers;
+  }
+  if (p.mode != ExecPolicy::Mode::kCpuOnly && !p.gpus.empty()) {
+    os << "/g";
+    for (size_t i = 0; i < p.gpus.size(); ++i) {
+      os << (i > 0 ? "+" : "") << p.gpus[i];
+    }
   }
   return os.str();
 }
@@ -84,6 +91,18 @@ std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
   const int base_workers =
       base.cpu_workers < 0 ? topo.num_cores() : base.cpu_workers;
 
+  // GPU pool the placement search may pin builds to: the base policy's
+  // explicit set, else the surviving set, else every GPU in the fabric. Empty
+  // on a no-GPU topology — no GPU-placed candidate is ever emitted then.
+  std::vector<int> gpu_pool;
+  if (!base.gpus.empty()) {
+    gpu_pool = base.gpus;
+  } else if (available_gpus != nullptr) {
+    gpu_pool = *available_gpus;
+  } else {
+    for (int g = 0; g < topo.num_gpus(); ++g) gpu_pool.push_back(g);
+  }
+
   for (ExecPolicy::Mode mix : mixes) {
     ExecPolicy p = base;
     p.mode = mix;
@@ -116,6 +135,31 @@ std::vector<PlanCandidate> EnumeratePlans(const QuerySpec& spec,
       v.split_probe_stage = false;
       v.load_balance = true;
       v.cpu_workers = base_workers / 2;
+      add(v);
+    }
+
+    // Per-join build placement across the fabric: pin the GPU side to each
+    // single GPU in the pool. The coster prices the resulting per-link (PCIe
+    // or NVLink peer) traffic asymmetrically, so on a backlogged fabric one
+    // build GPU can beat the symmetric spread.
+    if (mix != ExecPolicy::Mode::kCpuOnly && gpu_pool.size() > 1) {
+      for (int g : gpu_pool) {
+        ExecPolicy v = p;
+        v.split_probe_stage = false;
+        v.load_balance = true;
+        v.gpus = {g};
+        add(v);
+      }
+    }
+
+    // Asymmetric per-branch stages (Fig. 1e): the filter stage on cores only,
+    // the join/aggregate stage on the full mix. The lowering always ran this
+    // shape; the hybrid mix is the only one with both unit classes to split.
+    if (mix == ExecPolicy::Mode::kHybrid) {
+      ExecPolicy v = p;
+      v.split_probe_stage = true;
+      v.stage_a_cpu_only = true;
+      v.load_balance = true;
       add(v);
     }
   }

@@ -29,7 +29,12 @@ struct PlanCandidate {
 ///     `base.mode` and the topology's device inventory),
 ///   - per-exchange router policy: load-balance vs round-robin,
 ///   - CPU degree of parallelism: full vs half workers,
-///   - segmentation granularity: base block_rows and a 4× coarser variant.
+///   - segmentation granularity: base block_rows and a 4× coarser variant,
+///   - per-join build placement: the GPU side pinned to each single GPU of
+///     the fabric (multi-GPU topologies; the coster prices the asymmetric
+///     PCIe/peer-link traffic of each pinning),
+///   - asymmetric per-branch stages: the split shape with the filter stage on
+///     CPU workers only and the join stage on the full mix (Fig. 1e).
 ///
 /// A base policy with `use_hetexchange == false` pins the bare single-unit
 /// plan (no search: the shape has no exchanges to vary). Every returned

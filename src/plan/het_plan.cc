@@ -340,8 +340,17 @@ HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
                             : static_cast<int>(layout.probe_instances.size());
     const std::string key =
         spec.joins.empty() ? "tuple-hash" : spec.joins[0].probe_key;
+    // Asymmetric per-branch stages: stage A (filter + hash-pack) on the CPU
+    // branch only while stage B keeps the full mix — the paper's Fig. 1e with
+    // the cheap scan on cores and the joins on accelerators. Falls back to
+    // the symmetric split when only one unit class is present.
+    const bool asym = policy.stage_a_cpu_only && !cpu_instances.empty() &&
+                      !gpu_instances.empty();
+    const std::vector<std::vector<sim::DeviceId>*> stage_a_branches =
+        asym ? std::vector<std::vector<sim::DeviceId>*>{&cpu_instances}
+             : branches;
     std::vector<int> stage_a_tops;
-    for (const auto* instances : branches) {
+    for (const auto* instances : stage_a_branches) {
       const auto dev_type = instances->front().type;
       const int dop = static_cast<int>(instances->size());
       int chain = branch_head(fact_feed, *instances);
@@ -402,6 +411,26 @@ bool IsBlockProducer(HetOpNode::Kind k) {
 }
 
 }  // namespace
+
+Status ValidatePolicyForTopology(const ExecPolicy& policy,
+                                 const sim::Topology& topo) {
+  const bool wants_gpu = policy.mode != ExecPolicy::Mode::kCpuOnly;
+  if (!wants_gpu) return Status::OK();
+  if (topo.num_gpus() == 0 &&
+      (policy.mode == ExecPolicy::Mode::kGpuOnly || !policy.gpus.empty())) {
+    return Status::InvalidArgument(
+        "no-GPU topology: policy requests GPU placement but the topology has "
+        "0 GPUs (use a CPU-only policy, or a hybrid with no pinned GPUs)");
+  }
+  for (int g : policy.gpus) {
+    if (g < 0 || g >= topo.num_gpus()) {
+      return Status::InvalidArgument(
+          "policy names GPU " + std::to_string(g) + " but the topology has " +
+          std::to_string(topo.num_gpus()) + " GPU(s)");
+    }
+  }
+  return Status::OK();
+}
 
 Status ValidateHetPlan(const HetPlan& plan) {
   using Kind = HetOpNode::Kind;

@@ -118,6 +118,13 @@ HetPlan BuildHetPlan(const QuerySpec& spec, const ExecPolicy& policy,
 ///  4. hash-policy routers are fed by hash-packs (block hash-homogeneity).
 Status ValidateHetPlan(const HetPlan& plan);
 
+/// Checks that a policy's device placement exists on the topology before the
+/// lowering asserts on it: a GPU-placed policy on a no-GPU topology (or one
+/// naming a GPU index past the fabric) is a named InvalidArgument the caller
+/// can surface on the QueryResult, not a layout abort.
+Status ValidatePolicyForTopology(const ExecPolicy& policy,
+                                 const sim::Topology& topo);
+
 }  // namespace hetex::plan
 
 #endif  // HETEX_PLAN_HET_PLAN_H_

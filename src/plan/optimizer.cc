@@ -29,6 +29,20 @@ Status Optimize(const QuerySpec& spec, const ExecPolicy& base,
   std::vector<PlanCandidate> candidates =
       EnumeratePlans(spec, base, topo, available_gpus);
   if (candidates.empty()) {
+    // Name the no-GPU cases: a GPU-pinned base on a GPU-less topology (or a
+    // fully-lost device set) yields an empty space by design, and the error
+    // should say so instead of implying an enumerator bug.
+    if (base.mode == ExecPolicy::Mode::kGpuOnly && topo.num_gpus() == 0) {
+      return Status::InvalidArgument(
+          "optimizer: no candidates — GPU-only base policy on a no-GPU "
+          "topology");
+    }
+    if (base.mode == ExecPolicy::Mode::kGpuOnly && available_gpus != nullptr &&
+        available_gpus->empty()) {
+      return Status::Unavailable(
+          "optimizer: no candidates — GPU-only base policy with no surviving "
+          "GPUs");
+    }
     return Status::Internal("optimizer: enumerator produced no candidates");
   }
 

@@ -96,6 +96,13 @@ struct ExecPolicy {
   bool split_probe_stage = false;
   int hash_router_buckets = 0;     ///< 0: one bucket per consumer
 
+  /// Asymmetric per-branch stages (requires split_probe_stage and kHybrid):
+  /// the filter stage (stage A) runs on the CPU workers only while the
+  /// join/aggregate stage (stage B) keeps the full placement mix — the
+  /// paper's Fig. 1e shape with the cheap scan on cores and the joins on
+  /// accelerators. Ignored unless both unit classes are present.
+  bool stage_a_cpu_only = false;
+
   uint64_t block_rows = 128 * 1024;  ///< staging-block granularity in tuples
   size_t channel_capacity = 16;      ///< router queue depth (backpressure)
 

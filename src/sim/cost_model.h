@@ -77,11 +77,15 @@ class CostModel {
   double gpu_mem_bw = 320e9;      ///< B/s GPU HBM/GDDR bandwidth
   double pcie_bw = 12e9;          ///< B/s pinned-memory DMA over one PCIe 3.0 x16
   double pcie_pageable_bw = 5.5e9;///< B/s when source is pageable host memory
+  double nvlink_bw = 40e9;        ///< B/s of one NVLink-class GPU peer link
+  double inter_socket_bw = 38e9;  ///< B/s of the UPI/QPI inter-socket link
 
   // Control-plane constants, seeded from the one shared definition so the
   // planner's stamps/estimates and the runtime simulation cannot drift apart
   // (see plan::CostParams).
   double dma_latency = plan::CostParams{}.dma_latency;
+  double peer_dma_latency = plan::CostParams{}.peer_dma_latency;
+  double inter_socket_latency = plan::CostParams{}.inter_socket_latency;
   double kernel_launch_latency = plan::CostParams{}.kernel_launch_latency;
   double task_spawn_latency = plan::CostParams{}.task_spawn_latency;
   double router_init_latency = plan::CostParams{}.router_init_latency;
@@ -98,6 +102,8 @@ class CostModel {
   /// the simulation a self-similar miniature (DESIGN.md §1).
   void ScaleFixedLatencies(double f) {
     dma_latency *= f;
+    peer_dma_latency *= f;
+    inter_socket_latency *= f;
     kernel_launch_latency *= f;
     task_spawn_latency *= f;
     router_init_latency *= f;

@@ -4,8 +4,12 @@
 
 namespace hetex::sim {
 
-DmaEngine::DmaEngine(Topology* topo) : topo_(topo) {
-  const int links = topo->num_gpus();  // one PCIe link per GPU on this server
+DmaEngine::DmaEngine(Topology* topo)
+    : topo_(topo), num_pcie_links_(topo->num_pcie_links()) {
+  // One PCIe link per GPU on this server, then one queue per GPU peer link.
+  // A no-GPU topology leaves the engine with zero links and zero threads —
+  // valid, as long as nobody schedules a transfer on it.
+  const int links = num_pcie_links_ + topo->num_peer_links();
   queues_.reserve(links);
   workers_.reserve(links);
   for (int l = 0; l < links; ++l) {
@@ -27,8 +31,8 @@ DmaEngine::~DmaEngine() {
 TransferTicket DmaEngine::Transfer(const void* src, void* dst, uint64_t bytes,
                                    int link, VTime earliest, bool pageable,
                                    VTime epoch) {
-  HETEX_CHECK(link >= 0 && link < static_cast<int>(queues_.size()))
-      << "bad PCIe link " << link;
+  HETEX_CHECK(link >= 0 && link < num_pcie_links_)
+      << "bad PCIe link " << link << " (no-GPU topology has none)";
   BandwidthServer& server = topo_->pcie_link(link);
   // Pageable transfers cannot use the full DMA rate: model by inflating the byte
   // count so the reservation occupies the link for bytes / pageable_bw.
@@ -42,6 +46,22 @@ TransferTicket DmaEngine::Transfer(const void* src, void* dst, uint64_t bytes,
   auto done = std::make_shared<std::promise<void>>();
   std::shared_future<void> fut = done->get_future().share();
   const bool pushed = queues_[link]->Push(Job{src, dst, bytes, std::move(done)});
+  HETEX_CHECK(pushed) << "DMA engine shut down while transfers in flight";
+  return TransferTicket(window.end, std::move(fut));
+}
+
+TransferTicket DmaEngine::TransferPeer(const void* src, void* dst,
+                                       uint64_t bytes, int peer_link,
+                                       VTime earliest, VTime epoch) {
+  HETEX_CHECK(peer_link >= 0 && peer_link < topo_->num_peer_links())
+      << "bad peer link " << peer_link;
+  BandwidthServer& server = topo_->peer_link(peer_link);
+  const auto window = server.Reserve(bytes, earliest, epoch);
+
+  auto done = std::make_shared<std::promise<void>>();
+  std::shared_future<void> fut = done->get_future().share();
+  const bool pushed = queues_[num_pcie_links_ + peer_link]->Push(
+      Job{src, dst, bytes, std::move(done)});
   HETEX_CHECK(pushed) << "DMA engine shut down while transfers in flight";
   return TransferTicket(window.end, std::move(fut));
 }

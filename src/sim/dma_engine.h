@@ -66,6 +66,13 @@ class DmaEngine {
   VTime TransferSync(const void* src, void* dst, uint64_t bytes, int link,
                      VTime earliest, bool pageable = false, VTime epoch = 0.0);
 
+  /// Schedules an async copy over GPU peer link `peer_link` (an index into
+  /// Topology::peer_link). Same epoch-anchored first-fit queueing as Transfer,
+  /// but on the NVLink-class server — single hop, no host staging, and no
+  /// pageable penalty (both endpoints are device memory).
+  TransferTicket TransferPeer(const void* src, void* dst, uint64_t bytes,
+                              int peer_link, VTime earliest, VTime epoch = 0.0);
+
  private:
   struct Job {
     const void* src;
@@ -75,8 +82,10 @@ class DmaEngine {
   };
 
   Topology* topo_;
-  std::vector<std::unique_ptr<MpmcQueue<Job>>> queues_;  // one per link
+  /// One queue + memcpy thread per link: PCIe links first, then peer links.
+  std::vector<std::unique_ptr<MpmcQueue<Job>>> queues_;
   std::vector<std::thread> workers_;
+  int num_pcie_links_ = 0;
 };
 
 }  // namespace hetex::sim

@@ -32,6 +32,44 @@ Topology::Topology(const Options& options) : options_(options) {
     gpus_.push_back(GpuInfo{g, node, g % options.num_sockets, link,
                             options.gpu_sim_threads});
   }
+
+  const double peer_bw = options.peer_bw > 0 ? options.peer_bw : cm.nvlink_bw;
+  for (const auto& [a, b] : options.peer_links) {
+    HETEX_CHECK(a >= 0 && a < num_gpus() && b >= 0 && b < num_gpus() && a != b)
+        << "bad peer link gpu" << a << "<->gpu" << b;
+    HETEX_CHECK(PeerLinkOf(a, b) < 0)
+        << "duplicate peer link gpu" << a << "<->gpu" << b;
+    int link = static_cast<int>(peer_links_.size());
+    peer_links_.push_back(PeerLink{link, a, b});
+    peer_link_servers_.push_back(
+        std::make_unique<BandwidthServer>(peer_bw, cm.peer_dma_latency));
+  }
+
+  if (options.inter_socket_bw > 0 && options.num_sockets > 1) {
+    inter_socket_link_ = std::make_unique<BandwidthServer>(
+        options.inter_socket_bw, cm.inter_socket_latency);
+  }
+}
+
+Topology::Options Topology::ScaleOutOptions(int num_gpus, int num_sockets) {
+  Options options;
+  options.num_sockets = num_sockets;
+  options.num_gpus = num_gpus;
+  for (int a = 0; a < num_gpus; ++a) {
+    for (int b = a + 1; b < num_gpus; ++b) options.peer_links.emplace_back(a, b);
+  }
+  options.inter_socket_bw = options.cost_model.inter_socket_bw;
+  return options;
+}
+
+int Topology::PeerLinkOf(int gpu_a, int gpu_b) const {
+  for (const auto& p : peer_links_) {
+    if ((p.gpu_a == gpu_a && p.gpu_b == gpu_b) ||
+        (p.gpu_a == gpu_b && p.gpu_b == gpu_a)) {
+      return p.id;
+    }
+  }
+  return -1;
 }
 
 MemAccess Topology::CanAccess(DeviceId dev, MemNodeId node) const {
@@ -49,21 +87,51 @@ MemAccess Topology::CanAccess(DeviceId dev, MemNodeId node) const {
   return MemAccess::kRemotePcie;
 }
 
-std::string Topology::ToString() const {
+std::string Topology::Describe(VTime epoch) const {
+  const bool live = epoch >= 0;
   std::ostringstream os;
   os << "Topology: " << num_sockets() << " socket(s) x " << options_.cores_per_socket
-     << " cores, " << num_gpus() << " GPU(s)\n";
+     << " cores, " << num_gpus() << " GPU(s)";
+  if (num_peer_links() > 0) os << ", " << num_peer_links() << " peer link(s)";
+  os << "\n";
   for (const auto& s : sockets_) {
     os << "  socket" << s.id << ": mem node " << s.mem << " ("
        << (mem_nodes_[s.mem].capacity >> 20) << " MiB modeled, "
-       << socket_dram_[s.id]->total_rate() / 1e9 << " GB/s)\n";
+       << socket_dram_[s.id]->total_rate() / 1e9 << " GB/s)";
+    if (live) {
+      os << " backlog " << socket_dram_[s.id]->active_workers() << " worker(s)";
+    }
+    os << "\n";
   }
   for (const auto& g : gpus_) {
     os << "  gpu" << g.id << ": mem node " << g.mem << " ("
        << (mem_nodes_[g.mem].capacity >> 20) << " MiB modeled, "
        << cost_model().gpu_mem_bw / 1e9 << " GB/s), PCIe link " << g.pcie_link
        << " -> socket" << g.socket << " ("
-       << pcie_links_[g.pcie_link]->rate() / 1e9 << " GB/s)\n";
+       << pcie_links_[g.pcie_link]->rate() / 1e9 << " GB/s)";
+    if (live) {
+      os << " backlog "
+         << MaxT(0.0, pcie_links_[g.pcie_link]->free_at() - epoch) * 1e3 << " ms";
+    }
+    os << "\n";
+  }
+  for (const auto& p : peer_links_) {
+    os << "  peer link " << p.id << ": gpu" << p.gpu_a << " <-> gpu" << p.gpu_b
+       << " (NVLink-class, " << peer_link_servers_[p.id]->rate() / 1e9 << " GB/s)";
+    if (live) {
+      os << " backlog "
+         << MaxT(0.0, peer_link_servers_[p.id]->free_at() - epoch) * 1e3 << " ms";
+    }
+    os << "\n";
+  }
+  if (inter_socket_link_) {
+    os << "  inter-socket link: " << num_sockets() << " socket(s) ("
+       << inter_socket_link_->rate() / 1e9 << " GB/s)";
+    if (live) {
+      os << " backlog "
+         << MaxT(0.0, inter_socket_link_->free_at() - epoch) * 1e3 << " ms";
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -66,7 +67,21 @@ class Topology {
     uint64_t gpu_capacity = 8ull << 30;
     int gpu_sim_threads = 4;                ///< host threads emulating one GPU
     CostModel cost_model = CostModel::Paper();
+
+    /// NVLink-class GPU peer links, one BandwidthServer each: {a, b} connects
+    /// gpu a <-> gpu b. Empty (the default) models the paper server — no peer
+    /// fabric, GPU<->GPU traffic stages through host memory over PCIe.
+    std::vector<std::pair<int, int>> peer_links;
+    /// Peer-link bandwidth in B/s; 0 uses cost_model.nvlink_bw.
+    double peer_bw = 0;
+    /// Inter-socket (UPI/QPI) link bandwidth in B/s. 0 (the default) disables
+    /// the link: cross-socket reads are free, exactly the pre-fabric model.
+    double inter_socket_bw = 0;
   };
+
+  /// A scale-out fabric shape: `num_gpus` GPUs with a fully-connected NVLink
+  /// peer mesh, plus the inter-socket link, everything else the paper server.
+  static Options ScaleOutOptions(int num_gpus, int num_sockets = 2);
 
   struct MemNode {
     MemNodeId id;
@@ -87,6 +102,12 @@ class Topology {
     int socket;      ///< socket whose PCIe root it hangs off
     int pcie_link;   ///< index into pcie_links()
     int sim_threads;
+  };
+
+  struct PeerLink {
+    int id;          ///< index into peer_link()
+    int gpu_a;
+    int gpu_b;
   };
 
   explicit Topology(const Options& options);
@@ -122,20 +143,36 @@ class Topology {
   /// PCIe link used to move data between host memory and a GPU's memory.
   int PcieLinkOf(int gpu) const { return gpus_.at(gpu).pcie_link; }
 
+  /// Peer link directly connecting two GPUs, or -1 when there is none and a
+  /// GPU<->GPU move must stage through host memory over two PCIe hops.
+  int PeerLinkOf(int gpu_a, int gpu_b) const;
+
   /// Virtual-time resources.
   BandwidthServer& pcie_link(int link) { return *pcie_links_.at(link); }
   const BandwidthServer& pcie_link(int link) const { return *pcie_links_.at(link); }
   int num_pcie_links() const { return static_cast<int>(pcie_links_.size()); }
+  BandwidthServer& peer_link(int link) { return *peer_link_servers_.at(link); }
+  const BandwidthServer& peer_link(int link) const {
+    return *peer_link_servers_.at(link);
+  }
+  int num_peer_links() const { return static_cast<int>(peer_link_servers_.size()); }
+  const PeerLink& peer_link_info(int link) const { return peer_links_.at(link); }
+  /// The inter-socket link exists only when Options::inter_socket_bw > 0.
+  bool has_inter_socket_link() const { return inter_socket_link_ != nullptr; }
+  BandwidthServer& inter_socket_link() { return *inter_socket_link_; }
+  const BandwidthServer& inter_socket_link() const { return *inter_socket_link_; }
   DramServer& socket_dram(int socket) { return *socket_dram_.at(socket); }
   const DramServer& socket_dram(int socket) const { return *socket_dram_.at(socket); }
 
-  /// Absolute virtual time by which every PCIe link is idle. Sessions anchored
-  /// at (or past) this horizon see fresh interconnects — the session-scoped
-  /// replacement for the old rewind-all-clocks reset, safe with other queries
-  /// still in flight.
+  /// Absolute virtual time by which every interconnect link — PCIe, GPU peer
+  /// and inter-socket — is idle. Sessions anchored at (or past) this horizon
+  /// see fresh interconnects — the session-scoped replacement for the old
+  /// rewind-all-clocks reset, safe with other queries still in flight.
   VTime LinkHorizon() const {
     VTime h = 0;
     for (const auto& link : pcie_links_) h = MaxT(h, link->free_at());
+    for (const auto& link : peer_link_servers_) h = MaxT(h, link->free_at());
+    if (inter_socket_link_) h = MaxT(h, inter_socket_link_->free_at());
     return h;
   }
 
@@ -151,14 +188,22 @@ class Topology {
     return total;
   }
 
-  std::string ToString() const;
+  std::string ToString() const { return Describe(); }
+
+  /// Full fabric description: sockets, GPUs, per-link type/bandwidth and peer
+  /// adjacency. Pass a session epoch (>= 0) to additionally print the live
+  /// per-link and per-socket backlog that a query anchored there would see.
+  std::string Describe(VTime epoch = -1.0) const;
 
  private:
   Options options_;
   std::vector<Socket> sockets_;
   std::vector<GpuInfo> gpus_;
   std::vector<MemNode> mem_nodes_;
+  std::vector<PeerLink> peer_links_;
   std::vector<std::unique_ptr<BandwidthServer>> pcie_links_;
+  std::vector<std::unique_ptr<BandwidthServer>> peer_link_servers_;
+  std::unique_ptr<BandwidthServer> inter_socket_link_;
   std::vector<std::unique_ptr<DramServer>> socket_dram_;
 };
 

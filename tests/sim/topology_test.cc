@@ -80,6 +80,69 @@ TEST(Topology, LinkHorizonTracksBusiestLink) {
   EXPECT_DOUBLE_EQ(w.start, 0.0);
 }
 
+TEST(Topology, ScaleOutFabricShape) {
+  Topology topo(Topology::ScaleOutOptions(4));
+  EXPECT_EQ(topo.num_gpus(), 4);
+  // Fully-connected NVLink mesh: C(4,2) undirected peer links, every pair
+  // directly reachable, plus the inter-socket link.
+  EXPECT_EQ(topo.num_peer_links(), 6);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) {
+        EXPECT_EQ(topo.PeerLinkOf(a, b), -1);
+      } else {
+        EXPECT_GE(topo.PeerLinkOf(a, b), 0);
+        EXPECT_EQ(topo.PeerLinkOf(a, b), topo.PeerLinkOf(b, a));
+      }
+    }
+  }
+  ASSERT_TRUE(topo.has_inter_socket_link());
+  EXPECT_DOUBLE_EQ(topo.inter_socket_link().rate(),
+                   topo.cost_model().inter_socket_bw);
+  EXPECT_DOUBLE_EQ(topo.peer_link(0).rate(), topo.cost_model().nvlink_bw);
+}
+
+TEST(Topology, ScaleOutWithZeroGpusIsACpuOnlyFabric) {
+  Topology topo(Topology::ScaleOutOptions(0));
+  EXPECT_EQ(topo.num_gpus(), 0);
+  EXPECT_EQ(topo.num_peer_links(), 0);
+  EXPECT_EQ(topo.num_pcie_links(), 0);
+  EXPECT_TRUE(topo.has_inter_socket_link());  // NUMA survives without GPUs
+  EXPECT_EQ(topo.num_mem_nodes(), 2);
+}
+
+TEST(Topology, DefaultOptionsHaveNoFabricLinks) {
+  // The paper server: no peer mesh, no modeled inter-socket link — the exact
+  // pre-fabric shape, so default-constructed systems stay bit-identical.
+  Topology topo = Topology::PaperServer();
+  EXPECT_EQ(topo.num_peer_links(), 0);
+  EXPECT_FALSE(topo.has_inter_socket_link());
+}
+
+TEST(Topology, DescribePrintsFabricAndLiveBacklog) {
+  Topology topo(Topology::ScaleOutOptions(2));
+  const std::string fabric = topo.Describe();
+  EXPECT_NE(fabric.find("peer link 0: gpu0 <-> gpu1"), std::string::npos);
+  EXPECT_NE(fabric.find("inter-socket link"), std::string::npos);
+  EXPECT_EQ(fabric.find("backlog"), std::string::npos);  // static view
+
+  topo.peer_link(0).Reserve(64 << 20, 0.0);
+  const std::string live = topo.Describe(/*epoch=*/0.0);
+  EXPECT_NE(live.find("backlog"), std::string::npos);
+  // The drained view at the horizon reports zero backlog everywhere.
+  const std::string drained = topo.Describe(topo.LinkHorizon());
+  EXPECT_NE(drained.find("backlog 0 ms"), std::string::npos);
+}
+
+TEST(Topology, LinkHorizonCoversPeerAndInterSocketLinks) {
+  Topology topo(Topology::ScaleOutOptions(2));
+  EXPECT_DOUBLE_EQ(topo.LinkHorizon(), 0.0);
+  const auto peer = topo.peer_link(0).Reserve(64 << 20, 0.0);
+  EXPECT_DOUBLE_EQ(topo.LinkHorizon(), peer.end);
+  const auto upi = topo.inter_socket_link().Reserve(1ull << 30, 0.0);
+  EXPECT_DOUBLE_EQ(topo.LinkHorizon(), MaxT(peer.end, upi.end));
+}
+
 TEST(CostModel, AccessClassesFollowThresholds) {
   CostModel cm = CostModel::Paper();
   EXPECT_EQ(cm.RandomAccessClass(512 << 10), 0);   // L2-resident
