@@ -163,6 +163,40 @@ class SsbBenchEnv {
 /// coster agreeing on the ordering, and the baseline stays at parity with
 /// coster_max_ratio <= 1.2 — the PR 8 solo regime is bit-identical.
 
+/// BENCH_soak.json — the artifact bench_soak_bench prints on stdout (CI tees
+/// it from the Release job's `--check` run). One JSON object:
+///
+///   {
+///     "lineorder_rows": <uint>,       // fact rows in the served SSB mix
+///     "max_concurrent": <int>,        // scheduler admission width
+///     "micro_cycles": <int>,          // timed reservation cycles per level
+///     "mean_solo_latency_s": <s>,     // pre-soak pool mean (rate calibration)
+///     "offered_qps": <qps>,           // Poisson arrival rate, all levels
+///     "levels": [                     // one entry per in-flight-session
+///       {                             // level: 64, 128, 256
+///         "sessions": <int>,          // sessions pushed through the scheduler
+///         "ok": <int>,                // sessions that completed OK
+///         "achieved_qps": <qps>,      // ok / virtual-time makespan
+///         "p99_latency_s": <s>,       // queue wait + modeled latency p99
+///         "dram_segments": <uint>,    // live System max socket-timeline size
+///         "ns_per_reservation": <ns>, // micro Register+BlockEnd+Release cost
+///         "micro_segments": <uint>,   // micro timeline size (Bound()-capped)
+///         "solo_fast_path": <bool>,   // horizon session saw BlockEnd==false
+///         "wall_s": <s>               // host wall clock (diagnostic only)
+///       }, ...
+///     ],
+///     "ns_flat_ratio": <x>,           // ns(256 sessions) / ns(64 sessions)
+///     "solo_max_rel_dev": <x>,        // post- vs pre-soak solo latency dev
+///     "solo_parity_ok": <bool>        // solo_max_rel_dev <= 1e-4
+///   }
+///
+/// `--check` gates (exit nonzero + "CHECK FAILED:" on stderr): every session
+/// completes, every level's segment counts stay under the 4096 timeline cap,
+/// the horizon-anchored solo fast path holds at every level (the bit-exact
+/// half of the parity claim), solo_parity_ok, and ns_flat_ratio <= 3 — the
+/// O(log n) insert/probe plus Bound()-capped segment count keep reservation
+/// cost flat as in-flight sessions quadruple.
+
 /// Registers a 1-iteration manual-time benchmark whose reported time is the
 /// *modeled* latency on the simulated paper server.
 template <typename Fn>

@@ -72,12 +72,13 @@ Status QueryExecutor::OptimizeAt(const plan::QuerySpec& spec,
     opts.inter_socket_backlog =
         std::max(0.0, topo.inter_socket_link().free_at() - epoch);
   }
-  // CPU load signal: workers other in-flight sessions currently run on each
-  // socket. The runtime divides every socket's DRAM aggregate across all
-  // sessions, so candidates leaning on a crowded socket cost more.
+  // CPU load signal: workers whose execution-phase intervals overlap this
+  // session's epoch on each socket's DRAM timeline. The runtime divides every
+  // socket's aggregate across intervals overlapping in virtual time, so
+  // candidates leaning on a crowded socket cost more.
   opts.socket_backlog_workers.resize(topo.num_sockets());
   for (int s = 0; s < topo.num_sockets(); ++s) {
-    opts.socket_backlog_workers[s] = topo.socket_dram(s).active_workers();
+    opts.socket_backlog_workers[s] = topo.socket_dram(s).workers_overlapping(epoch);
   }
   return plan::Optimize(spec, base, system_->catalog(), system_->topology(),
                         out, opts);

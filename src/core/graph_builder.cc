@@ -433,15 +433,19 @@ struct RuntimeStage {
   std::unique_ptr<SourceDriver> source;
 };
 
-/// Registers one execution phase's concurrently-active CPU workers (per
-/// socket) with the cross-session DRAM servers for the guard's lifetime, so
-/// every other in-flight session's fluid share divides by them — and this
-/// query's own shares divide by theirs (see sim::DramServer).
+/// Reserves one execution phase's concurrently-active CPU workers (per
+/// socket) as an interval on the cross-session DRAM timelines: the interval
+/// opens at the phase's session-local `start` and closes at the modeled end
+/// passed to Close(). Closed intervals persist, so any session overlapping
+/// this phase *in virtual time* divides its fluid share by these workers —
+/// and this query's own shares divide by theirs (see sim::DramServer). If the
+/// phase errors out before Close(), the destructor discards the reservation
+/// (a phase that never modeled work must not charge future sessions).
 class DramPhaseGuard {
  public:
   DramPhaseGuard(sim::Topology* topo, const QuerySession& session,
-                 const std::vector<const StageSpec*>& stages)
-      : topo_(topo) {
+                 const std::vector<const StageSpec*>& stages, sim::VTime start)
+      : topo_(topo), epoch_(session.epoch) {
     std::map<int, int> workers;
     for (const StageSpec* stage : stages) {
       for (const auto& dev : stage->instances) {
@@ -449,13 +453,23 @@ class DramPhaseGuard {
       }
     }
     for (const auto& [socket, n] : workers) {
+      if (n <= 0) continue;
       tokens_.emplace_back(socket, topo_->socket_dram(socket).Register(
-                                       session.query_id, session.epoch, n));
+                                       session.query_id, epoch_ + start, n));
     }
   }
+
+  /// Closes the phase's intervals at session-local `end`.
+  void Close(sim::VTime end) {
+    for (const auto& [socket, token] : tokens_) {
+      topo_->socket_dram(socket).Release(token, epoch_ + end);
+    }
+    tokens_.clear();
+  }
+
   ~DramPhaseGuard() {
     for (const auto& [socket, token] : tokens_) {
-      topo_->socket_dram(socket).Release(token);
+      topo_->socket_dram(socket).Release(token);  // error path: discard
     }
   }
   DramPhaseGuard(const DramPhaseGuard&) = delete;
@@ -463,6 +477,7 @@ class DramPhaseGuard {
 
  private:
   sim::Topology* topo_;
+  sim::VTime epoch_;
   std::vector<std::pair<int, uint64_t>> tokens_;
 };
 
@@ -762,8 +777,12 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
     }
   }
 
+  // The build phase's DRAM interval opens at the modeled build start; it is
+  // closed (not discarded) once the probe watermark is known, so the interval
+  // [init_clock, probe_start) stays on the timeline for later sessions.
+  DramPhaseGuard build_dram(&system_->topology(), session, exec_builds,
+                            init_clock);
   {
-    DramPhaseGuard dram(&system_->topology(), session, exec_builds);
     std::vector<RuntimeStage> builds;
     for (const StageSpec* stage_ptr : exec_builds) {
       const StageSpec& stage = *stage_ptr;
@@ -827,6 +846,10 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   const sim::VTime probe_start =
       sim::MaxT(sim::MaxT(init_clock, hts.build_done(session.query_id)),
                 attach_ready - session.epoch);
+  // Half-open intervals: the build phase ends exactly where the fact phase
+  // starts, so this query's fact-stage blocks never overlap (and never get
+  // charged for) its own closed build interval.
+  build_dram.Close(probe_start);
 
   // -------------------------------------------------------------- fact stages
   std::vector<CompiledPipeline> pipelines;
@@ -839,7 +862,8 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   // each edge needs its consumer group's instances.
   std::vector<const StageSpec*> fact_stage_ptrs;
   for (const StageSpec& stage : spec_.fact_stages) fact_stage_ptrs.push_back(&stage);
-  DramPhaseGuard dram(&system_->topology(), session, fact_stage_ptrs);
+  DramPhaseGuard dram(&system_->topology(), session, fact_stage_ptrs,
+                      probe_start);
   std::vector<RuntimeStage> stages;
   Edge* downstream = nullptr;
   for (size_t i = 0; i < spec_.fact_stages.size(); ++i) {
@@ -886,6 +910,7 @@ Status GraphBuilder::Run(QueryCompiler* compiler, QueryResult* result) {
   result->rows = sink.TakeRows();
   result->modeled_seconds =
       sim::MaxT(sink.done_at(), stages.front().group->max_end());
+  dram.Close(result->modeled_seconds);
   for (auto& rt : stages) result->stats.Add(rt.group->total_stats());
   return Status::OK();
 }

@@ -98,12 +98,13 @@ class System {
   std::unique_ptr<jit::DeviceProvider> MakeProvider(sim::DeviceId device);
 
   /// Absolute virtual time by which every shared resource (PCIe links, GPU
-  /// kernel streams) is idle. A query session anchored at this horizon runs on
-  /// effectively fresh resources — the session-scoped replacement for the old
-  /// rewind-everything ResetVirtualTime(), safe while other queries are in
-  /// flight (their reservations simply stay behind the horizon).
+  /// kernel streams, socket DRAM timelines) is idle. A query session anchored
+  /// at this horizon runs on effectively fresh resources — the session-scoped
+  /// replacement for the old rewind-everything ResetVirtualTime(), safe while
+  /// other queries are in flight (their reservations simply stay behind the
+  /// horizon).
   sim::VTime VirtualHorizon() const {
-    sim::VTime h = topology_.LinkHorizon();
+    sim::VTime h = sim::MaxT(topology_.LinkHorizon(), topology_.DramHorizon());
     for (const auto& gpu : gpus_) h = sim::MaxT(h, gpu->stream_free_at());
     return h;
   }

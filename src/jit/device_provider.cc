@@ -241,22 +241,27 @@ ExecResult CpuProvider::Execute(const PipelineProgram& program, ExecRequest& req
   result.status = Run(program, ctx, req.rows);
 
   const sim::CostModel& cm = topo_->cost_model();
-  // Fluid share of the socket's DRAM bandwidth: this query's own workers on
-  // the socket (the deterministic per-group count) plus every other in-flight
-  // session's registered workers — concurrent queries split the aggregate
-  // like they split the PCIe links. Solo, the divisor is exactly the old
-  // within-query socket concurrency. Registrations only change at query
-  // phase boundaries, so the cross-session count is cached per generation;
-  // the per-block cost stays one relaxed atomic load.
+  // Fluid share of the socket's DRAM bandwidth: the block's bytes drain
+  // against every execution-phase interval overlapping it *in virtual time*
+  // on the socket's timeline — this query's own workers (the deterministic
+  // per-group count) plus whichever other sessions' intervals the block
+  // actually crosses, integrated piecewise as the overlap changes
+  // (sim::DramServer::BlockEnd). When nothing overlaps, the closed-form solo
+  // arithmetic below is used verbatim, so uncontended results stay
+  // bit-identical to the within-query fluid share.
   const sim::DramServer& dram = topo_->socket_dram(socket_);
-  const uint64_t gen = dram.generation();
-  if (gen != dram_generation_) {
-    dram_other_workers_ = dram.workers_besides(session_id());
-    dram_generation_ = gen;
+  const sim::VTime start_abs = session_epoch() + req.earliest;
+  sim::VTime end_abs;
+  if (dram.BlockEnd(session_id(), socket_concurrency_,
+                    cm.BandwidthBytes(result.stats, cm.cpu),
+                    cm.ComputeTime(result.stats, cm.cpu), start_abs,
+                    &end_abs)) {
+    result.end = req.earliest + (end_abs - start_abs);
+  } else {
+    const double bw =
+        std::min(cm.cpu_core_bw, cm.cpu_socket_bw / socket_concurrency_);
+    result.end = req.earliest + cm.WorkCost(result.stats, cm.cpu, bw);
   }
-  const int divisor = socket_concurrency_ + dram_other_workers_;
-  const double bw = std::min(cm.cpu_core_bw, cm.cpu_socket_bw / divisor);
-  result.end = req.earliest + cm.WorkCost(result.stats, cm.cpu, bw);
   return result;
 }
 

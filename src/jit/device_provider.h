@@ -184,10 +184,6 @@ class CpuProvider : public DeviceProvider {
   memory::MemoryRegistry* mem_;
   memory::BlockRegistry* blocks_;
   sim::MemNodeId node_;
-  /// Cross-session DRAM divisor cache, refreshed when the socket server's
-  /// registration generation moves (only this worker's thread touches it).
-  uint64_t dram_generation_ = ~0ull;
-  int dram_other_workers_ = 0;
 };
 
 /// GPU provider: pipelines execute as kernels over a logical thread grid with

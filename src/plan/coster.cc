@@ -664,6 +664,13 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
         profile.Scale(static_cast<double>(block_rows));
     const std::map<sim::MemNodeId, double> src_frac = node_fractions(src_table);
     const double block_bytes = static_cast<double>(block_rows) * in_width;
+    // DMA rate for this stage's source blocks: an unpinned source table
+    // transfers at the pageable rate, exactly as the runtime's DMA engine
+    // charges it (UVA streams and pinned staging hops keep the pinned rate).
+    const double host_pcie_bw =
+        src_table != nullptr && src_table->placed() && !src_table->pinned()
+            ? cm.pcie_pageable_bw
+            : cm.pcie_bw;
     // Load-balance routers pin GPU-resident blocks to their local GPU when
     // that GPU is among the consumers — those fractions never travel, and no
     // other instance ever receives them. Credit the route accordingly.
@@ -706,7 +713,7 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
                 if (lb_pinned(mn.owner.index)) continue;
                 const double t =
                     f * (static_cast<double>(cols) * cm.dma_latency +
-                         block_bytes / cm.pcie_bw);
+                         block_bytes / host_pcie_bw);
                 transfer += t;
                 by_link[topo_->PcieLinkOf(mn.owner.index)] += t;
               } else if (topo_->has_inter_socket_link() &&
@@ -746,10 +753,11 @@ Result<CostEstimate> PlanCoster::Cost(const HetPlan& plan) const {
           sim::VTime transfer = 0;
           if (b.gpu_entry) {
             // Mem-move stages the block into the GPU: one DMA reservation per
-            // column plus the bytes at the pinned rate for a host source.
+            // column plus the bytes at the source table's DMA rate (pageable
+            // when the source is unpinned host memory).
             const sim::VTime host_hop =
                 static_cast<double>(cols) * cm.dma_latency +
-                block_bytes / cm.pcie_bw;
+                block_bytes / host_pcie_bw;
             const int g = dev.index;
             if (src_frac.empty() || g >= topo_->num_gpus()) {
               transfer = host_hop;

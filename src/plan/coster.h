@@ -85,11 +85,13 @@ struct CosterOptions {
   /// arrival. 0 = idle (or no inter-socket link modeled).
   double inter_socket_backlog = 0;
 
-  /// Per-socket CPU contention: concurrently-active CPU workers other
-  /// in-flight sessions run on each socket (index = socket id). The runtime
-  /// divides a socket's DRAM aggregate across *all* sessions' workers, so the
-  /// coster adds these to the candidate's own per-socket counts when pricing
-  /// CPU fluid shares. Empty = idle server.
+  /// Per-socket CPU contention: workers whose execution-phase intervals
+  /// overlap the candidate's epoch on each socket's DRAM timeline (index =
+  /// socket id; QueryExecutor fills it from DramServer::workers_overlapping).
+  /// The runtime divides a socket's DRAM aggregate across the intervals a
+  /// block actually crosses in virtual time, so the coster adds these to the
+  /// candidate's own per-socket counts when pricing CPU fluid shares. Empty =
+  /// idle server.
   std::vector<int> socket_backlog_workers;
 
   /// GPUs usable by candidate plans: the System health registry's surviving

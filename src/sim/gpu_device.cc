@@ -83,6 +83,7 @@ GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_thr
 
   const DeviceCaps& caps = cost_model_->gpu;
   VTime work;
+  VTime anchored_start = -1.0;  // >= 0: commit the stream slot at this start
   if (opts.uva_link != nullptr) {
     // UVA/zero-copy: the streamed bytes occupy the shared PCIe link, queueing
     // behind (and ahead of) every in-flight session's DMA. The kernel cannot
@@ -110,6 +111,7 @@ GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_thr
       const auto lw = opts.uva_link->ReserveBytes(
           static_cast<uint64_t>(bytes + 0.5), kernel_start, opts.epoch);
       stream_done = lw.end - kernel_start;
+      anchored_start = kernel_start;
     }
     work = MaxT(compute, stream_done);
   } else {
@@ -117,8 +119,17 @@ GpuDevice::LaunchResult GpuDevice::LaunchKernel(const KernelFn& fn, int grid_thr
         opts.stream_bw > 0.0 ? opts.stream_bw : cost_model_->gpu_mem_bw;
     work = cost_model_->WorkCost(result.stats, caps, bw);
   }
-  const auto window = stream_.ReserveDuration(
-      cost_model_->kernel_launch_latency + work, opts.earliest, opts.epoch);
+  // The UVA path commits the stream slot at the start it probed: the link
+  // bytes above are anchored there, so re-running first fit (which another
+  // session may have raced, or the final duration may have outgrown the
+  // probed gap) could land the kernel somewhere its bytes are not. Anchoring
+  // stacks occupancy on overlap — conservative — instead of tearing the
+  // kernel away from its link reservation.
+  const VTime duration = cost_model_->kernel_launch_latency + work;
+  const auto window =
+      anchored_start >= 0.0
+          ? stream_.ReserveDurationAt(anchored_start, duration, opts.epoch)
+          : stream_.ReserveDuration(duration, opts.earliest, opts.epoch);
   result.start = window.start;
   result.end = window.end;
   return result;

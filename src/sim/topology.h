@@ -176,6 +176,17 @@ class Topology {
     return h;
   }
 
+  /// Absolute virtual time past every socket DRAM timeline's last boundary:
+  /// all closed execution-phase intervals end at or before it, so a session
+  /// anchored here sees uncontended DRAM. Pure CPU work leaves no trace on
+  /// the interconnect links, so without this term a CPU-only system would
+  /// anchor every arrival at epoch 0 — on top of all past queries' intervals.
+  VTime DramHorizon() const {
+    VTime h = 0;
+    for (const auto& dram : socket_dram_) h = MaxT(h, dram->horizon());
+    return h;
+  }
+
   /// Socket of a core index in [0, num_cores), interleaved across sockets as the
   /// paper does for its scalability experiments ("we interleave the CPU cores
   /// between the two sockets").

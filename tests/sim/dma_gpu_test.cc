@@ -79,9 +79,12 @@ TEST_F(DmaTest, TransfersOnOneLinkQueue) {
 }
 
 TEST_F(DmaTest, SeparateLinksRunInParallel) {
-  std::vector<uint8_t> buf(1 << 20), dst(1 << 20);
-  TransferTicket t1 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0);
-  TransferTicket t2 = dma_.Transfer(buf.data(), dst.data(), buf.size(), 1, 0.0);
+  // Distinct buffers per link: the two links' workers really do copy in
+  // parallel in wall clock, so sharing a destination would be a data race.
+  std::vector<uint8_t> buf1(1 << 20), dst1(1 << 20);
+  std::vector<uint8_t> buf2(1 << 20), dst2(1 << 20);
+  TransferTicket t1 = dma_.Transfer(buf1.data(), dst1.data(), buf1.size(), 0, 0.0);
+  TransferTicket t2 = dma_.Transfer(buf2.data(), dst2.data(), buf2.size(), 1, 0.0);
   EXPECT_DOUBLE_EQ(t1.ready_at(), t2.ready_at());  // independent virtual queues
   t1.Wait();
   t2.Wait();
@@ -241,6 +244,38 @@ TEST_F(GpuDeviceTest, UvaBytesAnchorAtKernelGapNotStreamHorizon) {
       dma.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, false, 0.0);
   EXPECT_GT(t.ready_at(), transfer);
   EXPECT_LT(t.ready_at(), transfer + 1e-3);
+  t.Wait();
+}
+
+TEST_F(GpuDeviceTest, UvaKernelStaysAnchoredWhenLinkQueueingOutgrowsTheGap) {
+  // The probe->reserve TOCTOU this PR closes: the stream probe sees a gap
+  // large enough for the UNCONTENDED duration, the link bytes anchor there,
+  // and then link queueing inflates the slot past the gap. Re-running first
+  // fit on commit (the old code) would tear the kernel away from the interval
+  // its bytes occupy; the anchored commit must keep the probed start and
+  // stack stream occupancy instead.
+  DmaEngine dma(&topo_);
+  std::vector<uint8_t> buf(12 << 20), dst(12 << 20);
+  TransferTicket t =  // ~1 ms of link-0 backlog the UVA bytes queue behind
+      dma.Transfer(buf.data(), dst.data(), buf.size(), 0, 0.0, false, 0.0);
+
+  auto noop = [](const KernelCtx&) {};
+  gpu_.LaunchKernel(noop, 64, 32, /*earliest=*/2e-4);  // gap is [0, 2e-4)
+
+  auto kernel = [&](const KernelCtx& ctx) {
+    if (ctx.thread_id == 0) ctx.stats->bytes_read += 1'000'000;
+  };
+  GpuDevice::LaunchOptions opts;
+  opts.uva_link = &topo_.pcie_link(topo_.PcieLinkOf(0));
+  auto r = gpu_.LaunchKernel(kernel, 64, 32, opts);
+  const auto& cm = topo_.cost_model();
+  // Uncontended the slot is launch + 1MB/12GB/s ~= 91 us — it probes into the
+  // gap at 0. Queued behind 12 MB of DMA the real slot is ~1.1 ms, far larger
+  // than the gap; the kernel must stay at the probed start regardless.
+  EXPECT_DOUBLE_EQ(r.start, 0.0);
+  EXPECT_NEAR(r.end,
+              t.ready_at() + 1'000'000 / cm.pcie_bw + cm.kernel_launch_latency,
+              1e-6);
   t.Wait();
 }
 
